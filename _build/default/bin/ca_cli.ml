@@ -1,0 +1,281 @@
+(* convex-agreement — command-line front end.
+
+   Runs a configurable Convex Agreement scenario in the deterministic
+   simulator and reports outputs, property checks and communication metrics.
+
+     dune exec bin/ca_cli.exe -- run -n 10 -t 3 --workload sensors \
+         --adversary equivocate --attack outlier-high
+     dune exec bin/ca_cli.exe -- run --protocol broadcast-ca --bits 64 \
+         --workload timestamps --verbose
+     dune exec bin/ca_cli.exe -- list *)
+
+open Net
+
+(* ------------------------------------------------------------------ *)
+(* Catalogues                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let adversary_catalogue ~seed =
+  [
+    ("passive", Adversary.passive);
+    ("silent", Adversary.silent);
+    ("crash", Adversary.crash ~after:10);
+    ("garbage", Adversary.garbage ~seed);
+    ("spammer", Adversary.spammer ~seed ~max_len:128);
+    ("equivocate", Adversary.equivocate ~seed);
+    ("bitflip", Adversary.bitflip ~seed);
+    ("delayer", Adversary.delayer ());
+  ]
+
+let attack_catalogue =
+  [
+    ("honest-inputs", Workload.Honest_inputs);
+    ("outlier-high", Workload.Outlier_high);
+    ("outlier-low", Workload.Outlier_low);
+    ("split-extremes", Workload.Split_extremes);
+  ]
+
+let protocol_catalogue ~bits ~aa_rounds =
+  [
+    ("pi-z", Workload.pi_z);
+    ("high-cost-ca", Workload.high_cost_ca ~bits);
+    ("broadcast-ca", Workload.broadcast_ca ~bits);
+    ("broadcast-ca-parallel", Workload.broadcast_ca_parallel ~bits);
+    ("median-ba", Workload.median_ba ~bits);
+    ("tc-ba", Workload.turpin_coan_ba ~bits);
+    ("phase-king-ba", Workload.phase_king_ba ~bits);
+    ("approx-agreement", Workload.approx_agreement ~bits ~rounds:aa_rounds);
+  ]
+
+let workload_catalogue rng ~n ~bits =
+  [
+    ("sensors", fun () -> Workload.sensor_readings rng ~n ~base:(-1004) ~jitter:2);
+    ( "prices",
+      fun () -> Workload.price_feed rng ~n ~base:"2931" ~decimals:18 ~spread_ppm:200 );
+    ( "timestamps",
+      fun () ->
+        Workload.timestamps rng ~n ~now_ns:"1783425600000000000" ~skew_ns:40_000_000 );
+    ("uniform", fun () -> Workload.uniform_bits rng ~n ~bits);
+    ( "clustered",
+      fun () -> Workload.clustered_bits rng ~n ~bits ~shared_prefix_bits:(bits / 2) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The run command                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_scenario n t protocol_name workload_name adversary_name attack_name bits
+    aa_rounds seed verbose =
+  if 3 * t >= n then begin
+    Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
+    exit 2
+  end;
+  let rng = Prng.create seed in
+  let lookup what table name =
+    match List.assoc_opt name table with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "error: unknown %s %S; available: %s\n" what name
+          (String.concat ", " (List.map fst table));
+        exit 2
+  in
+  let protocol =
+    lookup "protocol" (protocol_catalogue ~bits ~aa_rounds) protocol_name
+  in
+  let gen = lookup "workload" (workload_catalogue rng ~n ~bits) workload_name in
+  let adversary = lookup "adversary" (adversary_catalogue ~seed) adversary_name in
+  let attack = lookup "attack" attack_catalogue attack_name in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let inputs = Workload.apply_input_attack attack ~corrupt (gen ()) in
+  if verbose then begin
+    Printf.printf "inputs:\n";
+    Array.iteri
+      (fun i v ->
+        Printf.printf "  party %2d: %s%s\n" i (Bigint.to_string v)
+          (if corrupt.(i) then "   <- byzantine" else ""))
+      inputs
+  end;
+  let report =
+    Workload.run_int ~n ~t ~corrupt ~adversary ~inputs protocol.Workload.run
+  in
+  Printf.printf "protocol:        %s\n" protocol.Workload.proto_name;
+  Printf.printf "parties:         n=%d, t=%d, adversary=%s, attack=%s, seed=%d\n" n t
+    adversary.Adversary.name attack_name seed;
+  Printf.printf "output:          %s\n"
+    (match report.Workload.outputs with
+    | o :: _ -> Bigint.to_string o
+    | [] -> "(none)");
+  Printf.printf "agreement:       %b\n" report.Workload.agreement;
+  Printf.printf "convex validity: %b%s\n" report.Workload.convex_validity
+    (if protocol.Workload.solves_ca then ""
+     else "   (not promised by this protocol)");
+  Printf.printf "communication:   %d honest bits (%d byzantine), %d rounds\n"
+    report.Workload.honest_bits report.Workload.byz_bits report.Workload.rounds;
+  if verbose then begin
+    Printf.printf "per-component honest bits:\n";
+    List.iter
+      (fun (label, b) -> Printf.printf "  %-20s %10d\n" label b)
+      report.Workload.labels
+  end;
+  if protocol.Workload.solves_ca && not (report.Workload.agreement && report.Workload.convex_validity)
+  then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* The trace command                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let trace_scenario n t protocol_name workload_name adversary_name attack_name bits
+    aa_rounds seed csv_path =
+  if 3 * t >= n then begin
+    Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
+    exit 2
+  end;
+  let rng = Prng.create seed in
+  let lookup what table name =
+    match List.assoc_opt name table with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "error: unknown %s %S\n" what name;
+        exit 2
+  in
+  let protocol =
+    lookup "protocol" (protocol_catalogue ~bits ~aa_rounds) protocol_name
+  in
+  let gen = lookup "workload" (workload_catalogue rng ~n ~bits) workload_name in
+  let adversary = lookup "adversary" (adversary_catalogue ~seed) adversary_name in
+  let attack = lookup "attack" attack_catalogue attack_name in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let inputs = Workload.apply_input_attack attack ~corrupt (gen ()) in
+  let trace = Trace.create () in
+  let outcome =
+    Sim.run ~trace ~n ~t ~corrupt ~adversary (fun ctx ->
+        protocol.Workload.run ctx inputs.(ctx.Ctx.me))
+  in
+  ignore (Sim.honest_outputs ~corrupt outcome);
+  (match csv_path with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Trace.to_csv trace);
+      close_out oc;
+      Printf.printf "wrote %d events to %s\n" (Trace.length trace) path
+  | None -> ());
+  Format.printf "%a" (fun fmt tr -> Trace.pp_summary fmt tr ~n) trace
+
+(* ------------------------------------------------------------------ *)
+(* The list command                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let list_catalogues () =
+  let names table = String.concat ", " (List.map fst table) in
+  Printf.printf "protocols:  %s\n" (names (protocol_catalogue ~bits:64 ~aa_rounds:8));
+  Printf.printf "workloads:  %s\n"
+    (names (workload_catalogue (Prng.create 0) ~n:4 ~bits:64));
+  Printf.printf "adversaries: %s\n" (names (adversary_catalogue ~seed:0));
+  Printf.printf "attacks:    %s\n" (names attack_catalogue)
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let n_arg =
+  Arg.(value & opt int 7 & info [ "n" ] ~docv:"N" ~doc:"Number of parties.")
+
+let t_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "t" ] ~docv:"T" ~doc:"Corruption bound; must satisfy t < n/3.")
+
+let protocol_arg =
+  Arg.(
+    value & opt string "pi-z"
+    & info [ "protocol"; "p" ] ~docv:"NAME"
+        ~doc:"Protocol to run (see $(b,list) for the catalogue).")
+
+let workload_arg =
+  Arg.(
+    value & opt string "sensors"
+    & info [ "workload"; "w" ] ~docv:"NAME" ~doc:"Honest input distribution.")
+
+let adversary_arg =
+  Arg.(
+    value & opt string "equivocate"
+    & info [ "adversary"; "a" ] ~docv:"NAME" ~doc:"Byzantine message strategy.")
+
+let attack_arg =
+  Arg.(
+    value & opt string "outlier-high"
+    & info [ "attack" ] ~docv:"NAME" ~doc:"Byzantine input placement.")
+
+let bits_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "bits" ] ~docv:"BITS"
+        ~doc:"Public value width for the fixed-width comparator protocols.")
+
+let aa_rounds_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "aa-rounds" ] ~docv:"K" ~doc:"Iterations for approx-agreement.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print inputs and cost split.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file"; "f" ] ~docv:"FILE"
+        ~doc:
+          "Load the whole configuration from a scenario file (key = value \
+           lines; see the Scenario library). Overrides the other options.")
+
+let run_dispatch file n t protocol workload adversary attack bits aa_rounds seed
+    verbose =
+  match file with
+  | None ->
+      run_scenario n t protocol workload adversary attack bits aa_rounds seed verbose
+  | Some path -> (
+      match Scenario.load path with
+      | Error msg ->
+          Printf.eprintf "error: %s: %s\n" path msg;
+          exit 2
+      | Ok s ->
+          run_scenario s.Scenario.n s.Scenario.t s.Scenario.protocol
+            s.Scenario.workload s.Scenario.adversary s.Scenario.attack
+            s.Scenario.bits s.Scenario.aa_rounds s.Scenario.seed verbose)
+
+let run_cmd =
+  let doc = "run one Convex Agreement scenario in the simulator" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run_dispatch $ file_arg $ n_arg $ t_arg $ protocol_arg $ workload_arg
+      $ adversary_arg $ attack_arg $ bits_arg $ aa_rounds_arg $ seed_arg
+      $ verbose_arg)
+
+let list_cmd =
+  let doc = "list protocols, workloads, adversaries and input attacks" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_catalogues $ const ())
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Write the message-level trace as CSV.")
+
+let trace_cmd =
+  let doc = "run a scenario and print/export its message-level trace" in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace_scenario $ n_arg $ t_arg $ protocol_arg $ workload_arg
+      $ adversary_arg $ attack_arg $ bits_arg $ aa_rounds_arg $ seed_arg $ csv_arg)
+
+let () =
+  let doc = "communication-optimal convex agreement (PODC 2024) scenario runner" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "convex-agreement" ~doc) [ run_cmd; trace_cmd; list_cmd ]))

@@ -1,0 +1,105 @@
+(* soak — randomized long-running robustness campaign.
+
+   Each trial draws a random configuration (n, t, corrupt set, workload
+   family, input attack, message adversary — generic or protocol-aware) and
+   a random protocol from the CA family, runs it in the simulator, and
+   checks Definition 1. Any violation prints a full reproduction line
+   (everything is derived from the trial seed) and fails the process.
+
+     dune exec bin/soak.exe              (200 trials)
+     dune exec bin/soak.exe -- 5000 42   (trials, master seed)  *)
+
+open Net
+
+let trial ~seed =
+  let rng = Prng.create seed in
+  let n = 4 + Prng.int rng 7 in
+  let t = Prng.int rng (((n - 1) / 3) + 1) in
+  let corrupt = Array.make n false in
+  let placed = ref 0 in
+  while !placed < t do
+    let i = Prng.int rng n in
+    if not corrupt.(i) then begin
+      corrupt.(i) <- true;
+      incr placed
+    end
+  done;
+  let workload_name, inputs =
+    match Prng.int rng 4 with
+    | 0 -> ("sensors", Workload.sensor_readings rng ~n ~base:(-1004) ~jitter:3)
+    | 1 ->
+        ( "clustered",
+          Workload.clustered_bits rng ~n ~bits:(32 + Prng.int rng 400)
+            ~shared_prefix_bits:(Prng.int rng 32) )
+    | 2 -> ("uniform", Workload.uniform_bits rng ~n ~bits:(8 + Prng.int rng 64))
+    | _ ->
+        ( "timestamps",
+          Workload.timestamps rng ~n ~now_ns:"1783425600000000000"
+            ~skew_ns:(1 + Prng.int rng 100000) )
+  in
+  let attack =
+    List.nth
+      [ Workload.Honest_inputs; Workload.Outlier_high; Workload.Outlier_low;
+        Workload.Split_extremes ]
+      (Prng.int rng 4)
+  in
+  let inputs = Workload.apply_input_attack attack ~corrupt inputs in
+  let adversaries =
+    Adversary.all_generic ~seed
+    @ Attacks.all ~seed ~payload:(Sha256.digest (string_of_int seed))
+  in
+  let adversary = List.nth adversaries (Prng.int rng (List.length adversaries)) in
+  (* Wide enough that the fixed-width comparators never clamp an input —
+     clamping would make the validity check compare across domains. *)
+  let bits =
+    Array.fold_left (fun acc v -> max acc (Bigint.bit_length v)) 64 inputs + 1
+  in
+  let proto_name, protocol =
+    match Prng.int rng 3 with
+    | 0 -> ("pi_z", Workload.pi_z)
+    | 1 -> ("high_cost_ca", Workload.high_cost_ca ~bits)
+    | _ -> ("broadcast_ca", Workload.broadcast_ca ~bits)
+  in
+  (* Fixed-width comparators clamp magnitudes; avoid negative workloads. *)
+  let proto_name, protocol =
+    if proto_name <> "pi_z" && Array.exists (fun v -> Bigint.sign v < 0) inputs then
+      ("pi_z", Workload.pi_z)
+    else (proto_name, protocol)
+  in
+  let describe () =
+    Printf.sprintf "seed=%d n=%d t=%d proto=%s workload=%s attack=%s adversary=%s"
+      seed n t proto_name workload_name
+      (Workload.input_attack_name attack)
+      adversary.Adversary.name
+  in
+  match Workload.run_int ~n ~t ~corrupt ~adversary ~inputs protocol.Workload.run with
+  | report ->
+      if report.Workload.agreement && report.Workload.convex_validity then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: agreement=%b validity=%b" (describe ())
+             report.Workload.agreement report.Workload.convex_validity)
+  | exception e -> Error (Printf.sprintf "%s: raised %s" (describe ()) (Printexc.to_string e))
+
+let () =
+  let trials, master =
+    match Sys.argv with
+    | [| _; n |] -> (int_of_string n, 1)
+    | [| _; n; s |] -> (int_of_string n, int_of_string s)
+    | _ -> (200, 1)
+  in
+  let failures = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to trials do
+    (match trial ~seed:((master * 1_000_003) + i) with
+    | Ok () -> ()
+    | Error msg ->
+        incr failures;
+        Printf.printf "FAIL %s\n%!" msg);
+    if i mod 50 = 0 then
+      Printf.printf "  ... %d/%d trials, %d failures, %.1fs\n%!" i trials !failures
+        (Unix.gettimeofday () -. t0)
+  done;
+  Printf.printf "soak: %d trials, %d failures in %.1fs\n" trials !failures
+    (Unix.gettimeofday () -. t0);
+  if !failures > 0 then exit 1

@@ -1,0 +1,1 @@
+examples/async_fallback.ml: Anet Array Async_aa Async_sim Bitstring Bracha List Net Printf String

@@ -1,0 +1,1 @@
+examples/blockchain_oracle.ml: Adversary Array Bigint List Net Printf Prng Workload

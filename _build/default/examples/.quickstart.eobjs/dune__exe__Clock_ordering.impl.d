@@ -1,0 +1,1 @@
+examples/clock_ordering.ml: Adversary Array Baseline Bigint Convex Ctx List Metrics Net Printf Prng Sim Wire Workload

@@ -1,0 +1,1 @@
+examples/clock_ordering.mli:

@@ -1,0 +1,1 @@
+examples/gradient_aggregation.ml: Adversary Array Bigint Convex Ctx Fun List Metrics Net Printf Prng Proto Sim String Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Array Bigint Convex Ctx List Metrics Net Printf Prng Sim String Workload

@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Adversary Array Bigint Bitstring Convex Fun List Net Option Printf Prng String Workload

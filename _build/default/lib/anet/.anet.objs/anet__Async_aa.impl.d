@@ -1,0 +1,1 @@
+lib/anet/async_aa.ml: Array Async_proto Bigint Bitstring Hashtbl List Net Wire

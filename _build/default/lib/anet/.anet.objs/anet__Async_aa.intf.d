@@ -1,0 +1,1 @@
+lib/anet/async_aa.mli: Async_proto Bitstring Net

@@ -1,0 +1,1 @@
+lib/anet/async_proto.ml: List

@@ -1,0 +1,1 @@
+lib/anet/async_sim.ml: Array Async_proto Fun List Net Printf String

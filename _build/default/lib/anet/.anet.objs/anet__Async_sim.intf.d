@@ -1,0 +1,1 @@
+lib/anet/async_sim.mli: Async_proto Net

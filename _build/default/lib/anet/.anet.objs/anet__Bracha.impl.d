@@ -1,0 +1,1 @@
+lib/anet/bracha.ml: Array Async_proto Hashtbl List Net Wire

@@ -1,0 +1,1 @@
+lib/anet/bracha.mli: Async_proto Net

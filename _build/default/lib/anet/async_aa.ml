@@ -1,0 +1,74 @@
+(** Asynchronous Approximate Agreement for t < n/5 — the original
+    Dolev–Lynch–Pinter–Stark–Weihl [16] asynchronous regime, and the
+    corruption bound the paper's conclusion names for extending its
+    techniques to asynchrony.
+
+    Round r (no global clock — rounds are per-party counters): send
+    (r, v_r) to everyone; wait until values of round r from n−t distinct
+    senders have arrived (values for future rounds are buffered, a party may
+    lag arbitrarily); discard the t lowest and t highest and move to the
+    midpoint of the survivors.
+
+    Guarantees under any fair scheduler, t < n/5:
+    - {e Validity}: survivors of the trim are bracketed by honest round-r
+      values (at most t of the n−t collected values are byzantine), so by
+      induction outputs stay in the honest inputs' range.
+    - {e ε-Agreement}: the honest diameter contracts geometrically; [rounds]
+      = O(log(diameter/ε)) reaches ε-agreement. Exact agreement is
+      impossible deterministically in asynchrony (FLP [22]) — this is the
+      strongest validity-preserving primitive available without
+      randomization, which is why the paper's synchronous CA is interesting.
+
+    Values are [bits]-wide naturals; communication O(rounds·ℓ·n²). *)
+
+open Async_proto
+
+let encode ~round v = Wire.(encode (seq [ w_varint round; w_bits v ]))
+
+let decode ~bits raw =
+  let open Wire in
+  decode_full
+    (fun cur ->
+      let* round = r_varint cur in
+      let* v = r_bits () cur in
+      if Bitstring.length v = bits then Some (round, v) else None)
+    raw
+
+let run (ctx : Net.Ctx.t) ~bits ~rounds v_in =
+  if Bitstring.length v_in <> bits then invalid_arg "Async_aa.run: input length";
+  if rounds < 0 then invalid_arg "Async_aa.run: negative rounds";
+  let n = ctx.Net.Ctx.n and t = ctx.Net.Ctx.t in
+  if 5 * t >= n then invalid_arg "Async_aa.run: requires t < n/5";
+  let quorum = n - t in
+  (* buffered.(r) maps sender -> value for round r (first value wins). *)
+  let buffered = Array.init rounds (fun _ -> Hashtbl.create 8) in
+  let trimmed_midpoint values =
+    let sorted = List.sort Bitstring.compare values in
+    let arr = Array.of_list sorted in
+    let count = Array.length arr in
+    let lo = Bigint.of_bitstring arr.(min t (count - 1)) in
+    let hi = Bigint.of_bitstring arr.(max 0 (count - 1 - t)) in
+    Bigint.to_bitstring_fixed ~bits (Bigint.shift_right (Bigint.add lo hi) 1)
+  in
+  let rec round r v =
+    if r = rounds then Done v
+    else
+      let* () = broadcast ~n (encode ~round:r v) in
+      collect r
+  and collect r =
+    if Hashtbl.length buffered.(r) >= quorum then begin
+      let values = Hashtbl.fold (fun _ v acc -> v :: acc) buffered.(r) [] in
+      round (r + 1) (trimmed_midpoint values)
+    end
+    else
+      Recv
+        (fun ~sender raw ->
+          (match decode ~bits raw with
+          | Some (round, v)
+            when round >= r && round < rounds
+                 && not (Hashtbl.mem buffered.(round) sender) ->
+              Hashtbl.add buffered.(round) sender v
+          | Some _ | None -> ());
+          collect r)
+  in
+  round 0 v_in

@@ -1,0 +1,20 @@
+(** Asynchronous Approximate Agreement for t < n/5 — the original
+    Dolev–Lynch–Pinter–Stark–Weihl [16] asynchronous regime, and the
+    corruption bound the paper's conclusion names for extending its
+    techniques to asynchrony.
+
+    Each (per-party) round: send the current value to all; wait for round-r
+    values from n−t distinct senders (buffering future rounds); trim the t
+    lowest and t highest; move to the midpoint. Validity holds by the
+    trimming argument; the honest diameter contracts geometrically —
+    ε-agreement, never exact agreement (FLP). *)
+
+val run :
+  Net.Ctx.t -> bits:int -> rounds:int -> Bitstring.t -> Bitstring.t Async_proto.t
+(** [run ctx ~bits ~rounds v]: [v] must be [bits] wide; requires the
+    context's [t < n/5] (raises [Invalid_argument] otherwise). *)
+
+(** {1 Wire codecs (exposed for byzantine strategies in harnesses)} *)
+
+val encode : round:int -> Bitstring.t -> string
+val decode : bits:int -> string -> (int * Bitstring.t) option

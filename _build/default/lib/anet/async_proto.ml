@@ -1,0 +1,57 @@
+(** Asynchronous protocols as reactive computations.
+
+    The paper's conclusion expects its techniques to "be easily extended to
+    the asynchronous setting for a lower number of corruptions t < n/5"; this
+    library provides the asynchronous substrate for exploring that direction:
+    a message-driven protocol representation (this module), an adversarial
+    event scheduler ({!Async_sim}), Bracha reliable broadcast ({!Bracha}) and
+    asynchronous approximate agreement for t < n/5 ({!Async_aa}).
+
+    Unlike the synchronous {!Net.Proto} (lock-step rounds), an asynchronous
+    protocol alternates between {e sending batches of messages} and
+    {e blocking on the next delivered message} — there are no rounds; the
+    scheduler delivers in-flight messages one at a time in an order the
+    adversary controls (subject to eventual delivery). *)
+
+type 'a t =
+  | Done of 'a
+  | Send of (int * string) list * 'a t
+      (** [Send (msgs, k)]: put [(recipient, payload)] messages in flight,
+          continue as [k]. *)
+  | Recv of (sender:int -> string -> 'a t)
+      (** Block until the scheduler delivers the next message. *)
+
+let return x = Done x
+
+let rec bind m f =
+  match m with
+  | Done x -> f x
+  | Send (msgs, k) -> Send (msgs, bind k f)
+  | Recv k -> Recv (fun ~sender payload -> bind (k ~sender payload) f)
+
+let ( let* ) = bind
+let map m f = bind m (fun x -> return (f x))
+
+let send_many msgs = Send (msgs, Done ())
+
+let send recipient payload = send_many [ (recipient, payload) ]
+
+(** Send the same payload to every party including self ([n] known to the
+    caller). *)
+let broadcast ~n payload = send_many (List.init n (fun r -> (r, payload)))
+
+let recv () = Recv (fun ~sender payload -> Done (sender, payload))
+
+(** [recv_until step init]: feed delivered messages to [step] until it
+    produces a result. [step] returns [Ok result] to finish or
+    [Error (state, msgs)] to send [msgs] and keep waiting — the shape of
+    quorum-collection loops. *)
+let recv_until step init =
+  let rec loop state =
+    Recv
+      (fun ~sender payload ->
+        match step state ~sender payload with
+        | Ok result -> Done result
+        | Error (state, msgs) -> Send (msgs, loop state))
+  in
+  loop init

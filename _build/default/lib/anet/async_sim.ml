@@ -1,0 +1,178 @@
+(** Adversarial event scheduler for asynchronous protocols.
+
+    The asynchronous model: the adversary delays and reorders messages
+    arbitrarily, but every message between honest parties is eventually
+    delivered. The simulator keeps a bag of in-flight messages and repeatedly
+    asks a {!scheduler} which to deliver next; any scheduler that never
+    starves a message forever realizes the model. Byzantine parties are
+    modelled as in the synchronous simulator: their instances run, but a
+    transform rewrites (or drops) each message they send and may inject
+    fabrications.
+
+    The run ends when every honest party has terminated, or fails with
+    {!Starvation} when messages remain but the honest parties cannot make
+    progress (a liveness bug — or an unfair scheduler). *)
+
+type message = {
+  seq : int;  (** global injection order; unique *)
+  src : int;
+  dst : int;
+  payload : string;
+}
+
+type scheduler = {
+  sched_name : string;
+  pick : Net.Prng.t -> message list -> message;
+      (** Choose the next message to deliver from a non-empty in-flight
+          list (ascending [seq]). *)
+}
+
+(** FIFO per global injection order — the "synchronous-like" schedule. *)
+let fifo = { sched_name = "fifo"; pick = (fun _ pending -> List.hd pending) }
+
+(** Deliver the newest first — maximal reordering. *)
+let lifo =
+  {
+    sched_name = "lifo";
+    pick = (fun _ pending -> List.nth pending (List.length pending - 1));
+  }
+
+(** Uniformly random choice — the standard fair adversary. *)
+let random =
+  { sched_name = "random"; pick = (fun rng pending -> List.nth pending (Net.Prng.int rng (List.length pending))) }
+
+(** Starve one target party as long as legal: deliver its messages only when
+    nothing else is pending — the classic "slow party" adversary. *)
+let starve ~target =
+  {
+    sched_name = Printf.sprintf "starve-%d" target;
+    pick =
+      (fun rng pending ->
+        match List.filter (fun m -> m.dst <> target) pending with
+        | [] -> List.nth pending (Net.Prng.int rng (List.length pending))
+        | rest -> List.nth rest (Net.Prng.int rng (List.length rest)));
+  }
+
+(** Deliver byzantine-sent messages first (rushing flavour). *)
+let byzantine_first ~corrupt =
+  {
+    sched_name = "byzantine-first";
+    pick =
+      (fun rng pending ->
+        match List.filter (fun m -> corrupt.(m.src)) pending with
+        | [] -> List.nth pending (Net.Prng.int rng (List.length pending))
+        | byz -> List.nth byz (Net.Prng.int rng (List.length byz)));
+  }
+
+let all_schedulers ~corrupt ~target =
+  [ fifo; lifo; random; starve ~target; byzantine_first ~corrupt ]
+
+(** Byzantine message behaviour. *)
+type byzantine = {
+  byz_name : string;
+  rewrite : src:int -> dst:int -> string -> string option;
+      (** Applied to every message a corrupted instance sends. *)
+}
+
+let byz_passive = { byz_name = "passive"; rewrite = (fun ~src:_ ~dst:_ m -> Some m) }
+let byz_silent = { byz_name = "silent"; rewrite = (fun ~src:_ ~dst:_ _ -> None) }
+
+let byz_garbage ~seed =
+  let rng = Net.Prng.create seed in
+  {
+    byz_name = "garbage";
+    rewrite = (fun ~src:_ ~dst:_ m -> Some (Net.Prng.bytes rng (String.length m)));
+  }
+
+(** Equivocate: rewrite payloads sent to the upper half of the parties by
+    applying [mutate]. *)
+let byz_equivocate ~mutate =
+  {
+    byz_name = "equivocate";
+    rewrite = (fun ~src:_ ~dst m -> Some (if dst land 1 = 0 then m else mutate m));
+  }
+
+exception Starvation of string
+
+type metrics = {
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable honest_bits : int;
+}
+
+type 'a outcome = { outputs : 'a option array; metrics : metrics }
+
+let default_max_deliveries = 2_000_000
+
+let run ?(max_deliveries = default_max_deliveries) ?(seed = 1)
+    ?(byzantine = byz_passive) ~n ~t ~corrupt ~scheduler protocol =
+  if Array.length corrupt <> n then invalid_arg "Async_sim.run: corrupt size";
+  let rng = Net.Prng.create seed in
+  let metrics = { delivered = 0; dropped = 0; honest_bits = 0 } in
+  let states = Array.init n (fun me -> protocol (Net.Ctx.make ~n ~t ~me)) in
+  let seq = ref 0 in
+  let pending = ref [] in
+  (* Insert keeping ascending seq order (schedulers rely on it). *)
+  let enqueue src dst payload =
+    incr seq;
+    pending := !pending @ [ { seq = !seq; src; dst; payload } ]
+  in
+  let post src msgs =
+    List.iter
+      (fun (dst, payload) ->
+        if dst < 0 || dst >= n then ()
+        else if corrupt.(src) then begin
+          match byzantine.rewrite ~src ~dst payload with
+          | Some payload -> enqueue src dst payload
+          | None -> metrics.dropped <- metrics.dropped + 1
+        end
+        else begin
+          metrics.honest_bits <- metrics.honest_bits + (8 * String.length payload);
+          enqueue src dst payload
+        end)
+      msgs
+  in
+  (* Drain initial sends of every instance. *)
+  let rec settle me state =
+    match state with
+    | Async_proto.Send (msgs, k) ->
+        post me msgs;
+        settle me k
+    | (Async_proto.Done _ | Async_proto.Recv _) as s -> s
+  in
+  Array.iteri (fun i s -> states.(i) <- settle i s) states;
+  let honest_running () =
+    Array.exists
+      (fun i ->
+        match states.(i) with Async_proto.Recv _ -> not corrupt.(i) | _ -> false)
+      (Array.init n Fun.id)
+  in
+  while honest_running () && !pending <> [] do
+    if metrics.delivered > max_deliveries then
+      raise (Starvation "delivery budget exceeded");
+    let msg = scheduler.pick rng !pending in
+    pending := List.filter (fun m -> m.seq <> msg.seq) !pending;
+    metrics.delivered <- metrics.delivered + 1;
+    match states.(msg.dst) with
+    | Async_proto.Recv k ->
+        states.(msg.dst) <- settle msg.dst (k ~sender:msg.src msg.payload)
+    | Async_proto.Done _ -> metrics.dropped <- metrics.dropped + 1
+    | Async_proto.Send _ -> assert false
+  done;
+  if honest_running () then
+    raise (Starvation "honest party waiting with no messages in flight");
+  let outputs =
+    Array.map (function Async_proto.Done v -> Some v | _ -> None) states
+  in
+  { outputs; metrics }
+
+let honest_outputs ~corrupt outcome =
+  let out = ref [] in
+  Array.iteri
+    (fun i o ->
+      if not corrupt.(i) then
+        match o with
+        | Some v -> out := v :: !out
+        | None -> failwith (Printf.sprintf "party %d did not terminate" i))
+    outcome.outputs;
+  List.rev !out

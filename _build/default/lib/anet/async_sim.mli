@@ -1,0 +1,82 @@
+(** Adversarial event scheduler for asynchronous protocols.
+
+    The asynchronous model: the adversary delays and reorders messages
+    arbitrarily but must eventually deliver honest-to-honest messages. The
+    simulator keeps the in-flight messages and repeatedly asks a
+    {!scheduler} which to deliver next; any scheduler that never starves a
+    message realizes the model. Byzantine parties run their instances, but a
+    {!byzantine} rewrite intercepts every message they send.
+
+    Deterministic in [seed] — asynchronous runs are exactly reproducible. *)
+
+type message = { seq : int; src : int; dst : int; payload : string }
+
+type scheduler = {
+  sched_name : string;
+  pick : Net.Prng.t -> message list -> message;
+      (** Choose the next delivery from a non-empty pending list
+          (ascending [seq]). *)
+}
+
+val fifo : scheduler
+(** Global injection order — the synchronous-like schedule. *)
+
+val lifo : scheduler
+(** Newest first — maximal reordering. *)
+
+val random : scheduler
+(** Uniform choice — the standard fair adversary. *)
+
+val starve : target:int -> scheduler
+(** Deliver to [target] only when nothing else is pending. *)
+
+val byzantine_first : corrupt:bool array -> scheduler
+(** Prefer byzantine-sent messages (rushing flavour). *)
+
+val all_schedulers : corrupt:bool array -> target:int -> scheduler list
+
+(** {1 Byzantine behaviour} *)
+
+type byzantine = {
+  byz_name : string;
+  rewrite : src:int -> dst:int -> string -> string option;
+      (** Applied to every message a corrupted instance sends; [None]
+          drops it. *)
+}
+
+val byz_passive : byzantine
+val byz_silent : byzantine
+val byz_garbage : seed:int -> byzantine
+
+val byz_equivocate : mutate:(string -> string) -> byzantine
+(** Original payloads to even-index recipients, [mutate]d ones to odd. *)
+
+(** {1 Running} *)
+
+exception Starvation of string
+(** An honest party is waiting but no progress is possible (a liveness
+    failure — or the expected outcome of e.g. a silent Bracha sender). *)
+
+type metrics = {
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable honest_bits : int;
+}
+
+type 'a outcome = { outputs : 'a option array; metrics : metrics }
+
+val default_max_deliveries : int
+
+val run :
+  ?max_deliveries:int ->
+  ?seed:int ->
+  ?byzantine:byzantine ->
+  n:int ->
+  t:int ->
+  corrupt:bool array ->
+  scheduler:scheduler ->
+  (Net.Ctx.t -> 'a Async_proto.t) ->
+  'a outcome
+
+val honest_outputs : corrupt:bool array -> 'a outcome -> 'a list
+(** Raises [Failure] if an honest party did not terminate. *)

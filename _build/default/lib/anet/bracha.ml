@@ -1,0 +1,92 @@
+(** Bracha's asynchronous Reliable Broadcast (RBC), t < n/3 — the standard
+    asynchronous substrate primitive (used by the extension protocols of
+    [10, 41] in the asynchronous setting the paper's conclusion points to).
+
+    Guarantees (single designated sender s):
+    - {e Validity}: if s is honest, every honest party delivers s's value.
+    - {e Agreement}: no two honest parties deliver different values.
+    - {e Totality}: if one honest party delivers, all honest parties
+      eventually deliver.
+
+    A byzantine sender may cause {e no} delivery at all (the primitive is
+    only "reliable", not terminating) — in the simulator such runs surface
+    as {!Async_sim.Starvation}, which the tests assert explicitly.
+
+    Message pattern: INIT v from the sender; each party ECHOes the first
+    INIT; READY once n−t ECHOs or t+1 READYs for a value are seen; deliver
+    at 2t+1 READYs. Communication: O(ℓn²) for an ℓ-bit value. *)
+
+open Async_proto
+
+type kind = Init | Echo | Ready
+
+let encode kind payload =
+  let tag = match kind with Init -> 1 | Echo -> 2 | Ready -> 3 in
+  Wire.(encode (seq [ w_u8 tag; w_bytes payload ]))
+
+let decode raw =
+  let open Wire in
+  decode_full
+    (fun cur ->
+      let* tag = r_u8 cur in
+      let* payload = r_bytes () cur in
+      match tag with
+      | 1 -> Some (Init, payload)
+      | 2 -> Some (Echo, payload)
+      | 3 -> Some (Ready, payload)
+      | _ -> None)
+    raw
+
+type state = {
+  echoed : bool;
+  readied : bool;
+  echo_senders : (string, unit) Hashtbl.t array; (* per value: senders seen *)
+  ready_senders : (string, unit) Hashtbl.t array;
+}
+
+(** [run ctx ~sender v]: every party joins; only [sender]'s [v] matters.
+    Returns the delivered value. *)
+let run (ctx : Net.Ctx.t) ~sender v =
+  let n = ctx.Net.Ctx.n and t = ctx.Net.Ctx.t in
+  if sender < 0 || sender >= n then invalid_arg "Bracha.run: bad sender";
+  let quorum = n - t in
+  let state =
+    {
+      echoed = false;
+      readied = false;
+      echo_senders = Array.init n (fun _ -> Hashtbl.create 4);
+      ready_senders = Array.init n (fun _ -> Hashtbl.create 4);
+    }
+  in
+  (* Count distinct supporters of [value] in a per-party table array. *)
+  let support tables value from =
+    Hashtbl.replace tables.(from) (value : string) ();
+    Array.fold_left
+      (fun acc tbl -> if Hashtbl.mem tbl value then acc + 1 else acc)
+      0 tables
+  in
+  let all_parties payload = List.init n (fun r -> (r, payload)) in
+  let rec wait state =
+    Recv
+      (fun ~sender:from raw ->
+        match decode raw with
+        | None -> wait state (* malformed byzantine bytes *)
+        | Some (Init, value) ->
+            if from = sender && not state.echoed then
+              Send (all_parties (encode Echo value), wait { state with echoed = true })
+            else wait state
+        | Some (Echo, value) ->
+            let echoes = support state.echo_senders value from in
+            if echoes >= quorum && not state.readied then
+              Send (all_parties (encode Ready value), wait { state with readied = true })
+            else wait state
+        | Some (Ready, value) ->
+            let readies = support state.ready_senders value from in
+            if readies >= (2 * t) + 1 then Done value
+            else if readies >= t + 1 && not state.readied then
+              Send (all_parties (encode Ready value), wait { state with readied = true })
+            else wait state)
+  in
+  if ctx.Net.Ctx.me = sender then
+    Send (all_parties (encode Init v), wait state)
+  else wait state

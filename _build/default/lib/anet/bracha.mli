@@ -1,0 +1,16 @@
+(** Bracha's asynchronous Reliable Broadcast (RBC), t < n/3 — the standard
+    asynchronous dissemination primitive (the asynchronous extension
+    protocols of [10, 41] build on it).
+
+    Guarantees for a designated sender s: {e Validity} (honest s ⇒ all
+    honest deliver s's value), {e Agreement} (no two honest parties deliver
+    differently), {e Totality} (one honest delivery ⇒ all honest eventually
+    deliver). A byzantine sender may cause no delivery at all; under the
+    simulator that surfaces as {!Async_sim.Starvation}.
+
+    Communication: O(ℓn²) — INIT, then all-to-all ECHO and READY. *)
+
+val run : Net.Ctx.t -> sender:int -> string -> string Async_proto.t
+(** [run ctx ~sender v]: every party joins; only [sender]'s [v] matters.
+    Returns the delivered value. Raises [Invalid_argument] on a bad
+    sender index. *)

@@ -1,0 +1,44 @@
+(** Protocol-aware Byzantine strategies.
+
+    The generic strategies in {!Net.Adversary} corrupt bytes blindly; the
+    attacks here {e parse} the corrupted parties' prescribed traffic to
+    recognize protocol phases (votes, Reed–Solomon tuples, bitstring
+    windows, king rounds) and substitute semantically well-formed lies. Each
+    targets one proof obligation of the paper; the test-suite and the
+    resilience experiment run every CA protocol against all of them. *)
+
+val vote_stuffer : payload:string -> Net.Adversary.t
+(** Vote — alone and unanimously — for a fabricated value whenever a Π_BA+
+    vote is expected. Targets Intrusion Tolerance (Definition 3): t voters
+    can never reach the n−t threshold. *)
+
+val tuple_forger : seed:int -> Net.Adversary.t
+(** Replace the codeword inside every RS distribution tuple with random
+    bytes, keeping the (now mismatched) Merkle witness. Targets Lemma 6:
+    honest receivers must discard every forged tuple. *)
+
+val index_confuser : Net.Adversary.t
+(** Relabel distribution tuples with a shifted index — a valid codeword
+    under the wrong party index; the witness binds the index, so
+    verification must fail. *)
+
+val window_fabricator : Net.Adversary.t
+(** Send the complement of every prescribed bitstring window — well-formed
+    values no honest party holds. Targets FINDPREFIX Property (C) via
+    Π_ℓBA+'s Intrusion Tolerance. *)
+
+val prefix_saboteur : Net.Adversary.t
+(** Equivocate on windows (true to one half, complement to the other) to
+    starve Π_BA+ of quorums and force the ⊥ path of every FINDPREFIX
+    iteration. CA must still hold; the ⊥ path skips the distribution step,
+    so the saboteur cannot inflate honest traffic. *)
+
+val king_usurper : payload:string -> Net.Adversary.t
+(** Broadcast [payload] in every round shaped like a phase-king king round.
+    Targets the king-adoption fallback. *)
+
+val rotating : seed:int -> payload:string -> Net.Adversary.t
+(** Round-robin through all targeted attacks — a protocol-shaped chaos
+    monkey for soak tests. *)
+
+val all : seed:int -> payload:string -> Net.Adversary.t list

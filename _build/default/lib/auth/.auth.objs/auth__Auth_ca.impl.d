@@ -1,0 +1,1 @@
+lib/auth/auth_ca.ml: Bitstring Ctx Dolev_strong List Net Option Proto Setup Wire

@@ -1,0 +1,1 @@
+lib/auth/auth_ca.mli: Bitstring Net Setup

@@ -1,0 +1,1 @@
+lib/auth/dolev_strong.ml: Array Ctx Hashtbl List Net Proto Setup Sigs Wire

@@ -1,0 +1,1 @@
+lib/auth/dolev_strong.mli: Net Setup Sigs

@@ -1,0 +1,1 @@
+lib/auth/setup.ml: Array Net Sigs

@@ -1,0 +1,1 @@
+lib/auth/setup.mli: Sigs

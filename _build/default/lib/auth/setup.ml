@@ -1,0 +1,32 @@
+(** The "cryptographic setup" of the authenticated setting: every party holds
+    a (stateful, hash-based) signing key, and all public keys are known to
+    everyone — a PKI. This is exactly the assumption under which the paper's
+    conclusion asks whether t < n/2 CA with optimal communication is
+    possible; the [Auth] protocols explore the classical (communication-
+    heavy) end of that question.
+
+    Key generation is deterministic in the seed, so simulator runs remain
+    reproducible. The adversary knows corrupted parties' secrets (it runs
+    them) but, lacking SHA-256 preimages, cannot forge honest signatures. *)
+
+type t = {
+  pki : Sigs.Xmss.public array;  (** party index -> verification key *)
+  signers : Sigs.Xmss.signer array;
+      (** party index -> signing key; the simulator hands party i's protocol
+          instance [signers.(i)] only. *)
+}
+
+(** [generate ~seed ~n ~capacity] — [capacity] = signatures available per
+    party for the whole run. *)
+let generate ~seed ~n ~capacity =
+  let master = Net.Prng.create seed in
+  let pairs =
+    Array.init n (fun i ->
+        Sigs.Xmss.generate (Net.Prng.split master ~salt:i) ~capacity)
+  in
+  { pki = Array.map snd pairs; signers = Array.map fst pairs }
+
+let verify setup ~party ~msg signature =
+  party >= 0
+  && party < Array.length setup.pki
+  && Sigs.Xmss.verify ~public:setup.pki.(party) ~msg signature

@@ -1,0 +1,18 @@
+(** The "cryptographic setup" of the authenticated setting: every party holds
+    a stateful hash-based signing key and all verification keys are public —
+    a PKI. Exactly the assumption under which the paper's conclusion asks
+    whether t < n/2 CA with optimal communication is possible. *)
+
+type t = {
+  pki : Sigs.Xmss.public array;  (** party index → verification key *)
+  signers : Sigs.Xmss.signer array;
+      (** party index → signing key; a real deployment hands party i only
+          [signers.(i)] — the simulator closure does the same. *)
+}
+
+val generate : seed:int -> n:int -> capacity:int -> t
+(** [capacity] = signatures available per party for the whole run.
+    Deterministic in [seed]. *)
+
+val verify : t -> party:int -> msg:string -> Sigs.Xmss.signature -> bool
+(** Total, including on out-of-range party indices. *)

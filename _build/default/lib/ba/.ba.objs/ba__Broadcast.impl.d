@@ -1,0 +1,1 @@
+lib/ba/broadcast.ml: Array Ctx Net Option Phase_king Proto

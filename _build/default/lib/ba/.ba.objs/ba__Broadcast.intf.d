@@ -1,0 +1,1 @@
+lib/ba/broadcast.mli: Net Phase_king

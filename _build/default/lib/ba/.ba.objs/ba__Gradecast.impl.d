@@ -1,0 +1,1 @@
+lib/ba/gradecast.ml: Array Bigint Bitstring Ctx Hashtbl List Net Option Phase_king Proto Wire

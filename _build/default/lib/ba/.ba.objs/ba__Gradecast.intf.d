@@ -1,0 +1,1 @@
+lib/ba/gradecast.mli: Bitstring Net Phase_king

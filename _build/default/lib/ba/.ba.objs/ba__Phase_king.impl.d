@@ -1,0 +1,1 @@
+lib/ba/phase_king.ml: Array Bool Ctx Fun Hashtbl List Net Option Proto String Wire

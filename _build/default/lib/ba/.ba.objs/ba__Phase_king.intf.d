@@ -1,0 +1,1 @@
+lib/ba/phase_king.mli: Net

@@ -1,0 +1,1 @@
+lib/ba/turpin_coan.ml: Array Ctx Hashtbl List Net Option Phase_king Proto String Wire

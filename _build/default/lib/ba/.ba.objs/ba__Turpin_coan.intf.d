@@ -1,0 +1,1 @@
+lib/ba/turpin_coan.mli: Net Phase_king

@@ -1,0 +1,130 @@
+(** Gradecast (graded broadcast) — Feldman–Micali's relaxation of broadcast,
+    the building block of the "simple gradecast based algorithms" of
+    Ben-Or–Dolev–Hoch [6] cited in the paper's related work.
+
+    A designated sender distributes a value; each party outputs a pair
+    (value, grade) with grade ∈ {0, 1, 2} such that, for t < n/3:
+
+    - if the sender is honest, every honest party outputs (v, 2);
+    - if an honest party outputs grade 2, every honest party outputs the
+      same value with grade ≥ 1 ({e graded agreement});
+    - any two honest parties with grade ≥ 1 hold the same value.
+
+    Three rounds, O(ℓn²) bits:
+    1. the sender sends v to all;
+    2. every party echoes what it received;
+    3. every party forwards the value it saw echoed by ≥ n−t parties (if
+       any); grade 2 on ≥ n−t round-3 votes, grade 1 on ≥ t+1. *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+type 'v graded = { value : 'v option; grade : int }
+
+let run (spec : 'v Phase_king.spec) (ctx : Ctx.t) ~sender v =
+  if sender < 0 || sender >= ctx.Ctx.n then invalid_arg "Gradecast.run: bad sender";
+  let quorum = Ctx.quorum ctx in
+  let open Phase_king in
+  Proto.with_label "gradecast"
+    ((* Round 1: the sender distributes. *)
+     let* inbox1 =
+       if ctx.Ctx.me = sender then Proto.broadcast (spec.encode v)
+       else Proto.receive_only ()
+     in
+     let received = Option.bind inbox1.(sender) spec.decode in
+     (* Round 2: echo. An explicit "nothing" is encoded as option None. *)
+     let encode_opt o = Wire.encode (Wire.w_option Wire.w_bytes (Option.map spec.encode o)) in
+     let decode_opt raw =
+       match Wire.decode_full (Wire.r_option (Wire.r_bytes ())) raw with
+       | Some (Some payload) -> spec.decode payload
+       | Some None | None -> None
+     in
+     let tally inbox =
+       let counts = Hashtbl.create 16 in
+       Array.iter
+         (function
+           | None -> ()
+           | Some raw -> (
+               match decode_opt raw with
+               | None -> ()
+               | Some v ->
+                   let key = spec.encode v in
+                   let _, c = Option.value ~default:(v, 0) (Hashtbl.find_opt counts key) in
+                   Hashtbl.replace counts key (v, c + 1)))
+         inbox;
+       Hashtbl.fold (fun _ vc acc -> vc :: acc) counts []
+     in
+     let* inbox2 = Proto.broadcast (encode_opt received) in
+     let echoed =
+       match List.find_opt (fun (_, c) -> c >= quorum) (tally inbox2) with
+       | Some (v, _) -> Some v
+       | None -> None
+     in
+     (* Round 3: forward the quorum-echoed value and grade the support. *)
+     let* inbox3 = Proto.broadcast (encode_opt echoed) in
+     match
+       List.fold_left
+         (fun best (v, c) ->
+           match best with Some (_, bc) when bc >= c -> best | _ -> Some (v, c))
+         None (tally inbox3)
+     with
+     | Some (v, c) when c >= quorum -> Proto.return { value = Some v; grade = 2 }
+     | Some (v, c) when c >= ctx.Ctx.t + 1 -> Proto.return { value = Some v; grade = 1 }
+     | Some _ | None -> Proto.return { value = None; grade = 0 })
+
+let run_bytes ctx ~sender v = run Phase_king.bytes_spec ctx ~sender v
+
+(** {1 Gradecast-based Approximate Agreement [6]}
+
+    Each iteration, every party gradecasts its value; values received with
+    grade ≥ 1 (plus nothing from parties whose gradecast failed) form the
+    multiset; parties whose gradecast graded 2 everywhere are honest-like.
+    Trimming t from each side and taking the midpoint halves the honest
+    diameter per iteration while staying in the honest range — the same
+    interface as {!Baseline.Approx_agreement} but built on a broadcast
+    primitive with per-sender accountability. *)
+
+let approx_agree (ctx : Ctx.t) ~bits ~rounds v_in =
+  if Bitstring.length v_in <> bits then invalid_arg "Gradecast.approx_agree: length";
+  let t = ctx.Ctx.t in
+  let bits_spec : Bitstring.t Phase_king.spec =
+    {
+      Phase_king.equal = Bitstring.equal;
+      default = Bitstring.zero bits;
+      encode = (fun b -> Wire.encode (Wire.w_bits b));
+      decode =
+        (fun raw ->
+          match Wire.decode_full (Wire.r_bits ()) raw with
+          | Some b when Bitstring.length b = bits -> Some b
+          | Some _ | None -> None);
+    }
+  in
+  let rec iterate k v =
+    if k = 0 then Proto.return v
+    else
+      (* n sequential gradecasts, one per sender. *)
+      let rec gather sender acc =
+        if sender = ctx.Ctx.n then Proto.return (List.rev acc)
+        else
+          let* g = run bits_spec ctx ~sender v in
+          gather (sender + 1) (g :: acc)
+      in
+      let* graded = gather 0 [] in
+      let values =
+        List.filter_map (fun g -> if g.grade >= 1 then g.value else None) graded
+      in
+      let sorted = List.sort Bitstring.compare values in
+      let arr = Array.of_list sorted in
+      let count = Array.length arr in
+      let v =
+        if count <= 2 * t then v
+        else begin
+          let lo = Bigint.of_bitstring arr.(t) in
+          let hi = Bigint.of_bitstring arr.(count - 1 - t) in
+          Bigint.to_bitstring_fixed ~bits (Bigint.shift_right (Bigint.add lo hi) 1)
+        end
+      in
+      iterate (k - 1) v
+  in
+  Proto.with_label "gradecast_aa" (iterate rounds v_in)

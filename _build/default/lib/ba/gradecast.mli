@@ -1,0 +1,25 @@
+(** Gradecast (graded broadcast) — Feldman–Micali's relaxation of broadcast,
+    the building block of the gradecast-based algorithms of
+    Ben-Or–Dolev–Hoch [6] cited in the paper's related work.
+
+    For t < n/3, three rounds, O(ℓn²) bits; each party outputs a value and a
+    grade in {0, 1, 2} with: honest sender ⇒ everyone outputs (v, 2); an
+    honest grade-2 output forces every honest party to hold the same value
+    with grade ≥ 1; any two honest grade-≥1 values coincide. *)
+
+type 'v graded = { value : 'v option; grade : int }
+
+val run :
+  'v Phase_king.spec -> Net.Ctx.t -> sender:int -> 'v -> 'v graded Net.Proto.t
+
+val run_bytes : Net.Ctx.t -> sender:int -> string -> string graded Net.Proto.t
+
+(** {1 Gradecast-based Approximate Agreement [6]}
+
+    Iterated: every party gradecasts its value; grade-≥1 values form the
+    round multiset; trim t per side and take the midpoint. Same interface as
+    [Baseline.Approx_agreement], built on a broadcast primitive with
+    per-sender accountability. *)
+
+val approx_agree :
+  Net.Ctx.t -> bits:int -> rounds:int -> Bitstring.t -> Bitstring.t Net.Proto.t

@@ -1,0 +1,131 @@
+(* Phase-king agreement, t+1 phases of three rounds each.
+
+   Phase invariants (n > 3t):
+   - Persistence: if all honest parties enter a phase with the same value,
+     they all lock it and ignore the king.
+   - At most one value can be proposed by any honest party in a phase (two
+     distinct proposals would each need n-2t honest holders; 2(n-2t) > n-t).
+   - If any honest party locks w, every honest party ends the phase with w.
+   - A phase with an honest king therefore ends with all honest parties
+     agreeing, and persistence preserves that agreement; among t+1 kings one
+     is honest. *)
+
+open Net
+
+type 'v spec = {
+  equal : 'v -> 'v -> bool;
+  default : 'v;
+  encode : 'v -> string;
+  decode : string -> 'v option;
+}
+
+let ( let* ) = Proto.( let* )
+
+(* Tally distinct decoded values in an inbox (at most one per sender).
+   Returns an assoc list keyed by the canonical encoding. *)
+let tally spec inbox =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some raw -> (
+          match spec.decode raw with
+          | None -> () (* undecodable byzantine bytes: ignore the sender *)
+          | Some v ->
+              let key = spec.encode v in
+              let _, c = Option.value ~default:(v, 0) (Hashtbl.find_opt counts key) in
+              Hashtbl.replace counts key (v, c + 1)))
+    inbox;
+  Hashtbl.fold (fun key (v, c) acc -> (key, v, c) :: acc) counts []
+
+(* Value with the highest count; ties broken by canonical encoding so all
+   honest parties make the same deterministic choice. *)
+let argmax = function
+  | [] -> None
+  | entries ->
+      Some
+        (List.fold_left
+           (fun (bk, bv, bc) (k, v, c) ->
+             if c > bc || (c = bc && String.compare k bk < 0) then (k, v, c)
+             else (bk, bv, bc))
+           (List.hd entries) (List.tl entries))
+
+let run spec (ctx : Ctx.t) input =
+  let quorum = Ctx.quorum ctx in
+  let rec phase k v =
+    if k > ctx.Ctx.t + 1 then Proto.return v
+    else
+      (* Round 1: universal exchange of current values. *)
+      let* inbox1 = Proto.broadcast (spec.encode v) in
+      let proposal =
+        match
+          List.find_opt (fun (_, _, c) -> c >= quorum) (tally spec inbox1)
+        with
+        | Some (_, w, _) -> Some w
+        | None -> None
+      in
+      (* Round 2: universal exchange of proposals. *)
+      let encode_proposal p = Wire.encode (Wire.w_option Wire.w_bytes (Option.map spec.encode p)) in
+      let decode_proposal raw =
+        match Wire.decode_full (Wire.r_option (Wire.r_bytes ())) raw with
+        | None -> None (* malformed: drop sender *)
+        | Some None -> None (* an explicit "no proposal" carries no vote *)
+        | Some (Some payload) -> spec.decode payload
+      in
+      let* inbox2 = Proto.broadcast (encode_proposal proposal) in
+      let votes = tally { spec with decode = decode_proposal } inbox2 in
+      let v, locked =
+        match argmax votes with
+        | Some (_, w, c) when c >= ctx.Ctx.t + 1 -> (w, c >= quorum)
+        | _ -> (v, false)
+      in
+      (* Round 3: the phase king circulates its value. *)
+      let king = k - 1 in
+      let* inbox3 =
+        if ctx.Ctx.me = king then Proto.broadcast (spec.encode v)
+        else Proto.receive_only ()
+      in
+      let v =
+        if locked then v
+        else
+          let king_value =
+            if ctx.Ctx.me = king then Some v
+            else Option.bind inbox3.(king) spec.decode
+          in
+          Option.value ~default:spec.default king_value
+      in
+      phase (k + 1) v
+  in
+  Proto.with_label "pi_ba" (phase 1 input)
+
+let rounds (ctx : Ctx.t) = 3 * (ctx.Ctx.t + 1)
+
+let bit_spec =
+  {
+    equal = Bool.equal;
+    default = false;
+    encode = (fun b -> if b then "\001" else "\000");
+    decode =
+      (fun s ->
+        match s with "\000" -> Some false | "\001" -> Some true | _ -> None);
+  }
+
+let bytes_spec =
+  {
+    equal = String.equal;
+    default = "";
+    encode = Fun.id;
+    decode = (fun s -> Some s);
+  }
+
+let option_spec =
+  {
+    equal = Option.equal String.equal;
+    default = None;
+    encode = (fun v -> Wire.encode (Wire.w_option Wire.w_bytes v));
+    decode = Wire.decode_full (Wire.r_option (Wire.r_bytes ()));
+  }
+
+let run_bit ctx b = run bit_spec ctx b
+let run_bytes ctx s = run bytes_spec ctx s
+let run_option ctx o = run option_spec ctx o

@@ -1,0 +1,40 @@
+(** The assumed BA protocol Π_BA: deterministic multivalued Byzantine
+    Agreement for [t < n/3] in the plain model, in the phase-king style of
+    Berman–Garay–Perry [7].
+
+    Guarantees (Definition 2): Termination, Agreement, Validity. In addition,
+    over a two-element domain the output is always some honest party's input
+    (used by ADDLASTBIT / GETOUTPUT / Π_ℤ, cf. Lemma 2): if it were not, all
+    honest parties would hold the other value and Validity would force that
+    value.
+
+    Complexity: [3(t+1)] rounds; [O(ℓ n³)] bits for ℓ-bit values (each of the
+    [t+1] phases is all-to-all). The paper instantiates Π_BA with the
+    quadratic-communication protocol of Coan–Welch [12]; DESIGN.md records
+    this substitution — it affects only the additive [poly(n, κ)] term of the
+    CA protocols, which experiment T5 measures separately. *)
+
+type 'v spec = {
+  equal : 'v -> 'v -> bool;
+  default : 'v;  (** Fallback when a (byzantine) king's message is invalid. *)
+  encode : 'v -> string;  (** Must be injective on the domain. *)
+  decode : string -> 'v option;  (** Total on arbitrary bytes. *)
+}
+
+val run : 'v spec -> Net.Ctx.t -> 'v -> 'v Net.Proto.t
+(** [run spec ctx v] joins Π_BA with input [v]. All honest parties obtain the
+    same output, equal to [v] if they all joined with [v]. *)
+
+val bit_spec : bool spec
+val bytes_spec : string spec
+
+val option_spec : string option spec
+(** Domain [string option] — [⊥] is a first-class input value (needed by
+    Π_BA+, where parties may join the inner agreement with [a = ⊥]). *)
+
+val run_bit : Net.Ctx.t -> bool -> bool Net.Proto.t
+val run_bytes : Net.Ctx.t -> string -> string Net.Proto.t
+val run_option : Net.Ctx.t -> string option -> string option Net.Proto.t
+
+val rounds : Net.Ctx.t -> int
+(** Exact round count: [3 (t+1)]. *)

@@ -1,0 +1,84 @@
+(** The Turpin–Coan extension protocol [49]: multivalued BA from binary BA
+    with O(ℓn²) extra communication, resilient for t < n/3.
+
+    This is the classical "cheap" multivalued BA that the paper's related
+    work contrasts with: quadratic in n, and — like any plain BA — offering
+    no convex validity. It serves as the O(ℓn²) baseline in the benchmark
+    tables (experiments T1/T2/F1).
+
+    Steps (each party):
+    1. Send the input value to all.
+    2. If some value [w] was received from ≥ n−t parties, set y := w,
+       else y := ⊥. Send y to all.
+    3. Let z := the most frequent non-⊥ value received, c := its count.
+       Join binary Π_BA with input 1 iff c ≥ n−t.
+    4. If Π_BA returned 1, output z (any honest party then has c ≥ t+1 for a
+       common z); otherwise output the default value.
+
+    The two-honest-proposal argument (two distinct y ≠ ⊥ values would each
+    need n−2t honest supporters) makes z common to all honest parties
+    whenever the binary agreement returns 1. *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+let run (spec : 'v Phase_king.spec) (ctx : Ctx.t) input =
+  let open Phase_king in
+  let quorum = Ctx.quorum ctx in
+  Proto.with_label "turpin_coan"
+    (* Step 1: universal exchange of inputs. *)
+    (let* inbox1 = Proto.broadcast (spec.encode input) in
+     let tally inbox decode =
+       let counts = Hashtbl.create 16 in
+       Array.iter
+         (function
+           | None -> ()
+           | Some raw -> (
+               match decode raw with
+               | None -> ()
+               | Some v ->
+                   let key = spec.encode v in
+                   let _, c =
+                     Option.value ~default:(v, 0) (Hashtbl.find_opt counts key)
+                   in
+                   Hashtbl.replace counts key (v, c + 1)))
+         inbox;
+       Hashtbl.fold (fun key (v, c) acc -> (key, v, c) :: acc) counts []
+     in
+     let y =
+       match List.find_opt (fun (_, _, c) -> c >= quorum) (tally inbox1 spec.decode) with
+       | Some (_, w, _) -> Some w
+       | None -> None
+     in
+     (* Step 2: universal exchange of candidates. *)
+     let encode_y y = Wire.encode (Wire.w_option Wire.w_bytes (Option.map spec.encode y)) in
+     let decode_y raw =
+       match Wire.decode_full (Wire.r_option (Wire.r_bytes ())) raw with
+       | None | Some None -> None
+       | Some (Some payload) -> spec.decode payload
+     in
+     let* inbox2 = Proto.broadcast (encode_y y) in
+     let z, c =
+       match tally inbox2 decode_y with
+       | [] -> (spec.default, 0)
+       | entries ->
+           let _, v, c =
+             List.fold_left
+               (fun (bk, bv, bc) (k, v, c) ->
+                 if c > bc || (c = bc && String.compare k bk < 0) then (k, v, c)
+                 else (bk, bv, bc))
+               (List.hd entries) (List.tl entries)
+           in
+           (v, c)
+     in
+     (* Step 3: binary agreement on whether a quorum candidate exists. *)
+     let* confirmed = Phase_king.run_bit ctx (c >= quorum) in
+     (* Step 4. *)
+     if confirmed && c >= ctx.Ctx.t + 1 then Proto.return z
+     else Proto.return spec.default)
+
+let run_bytes ctx v = run Phase_king.bytes_spec ctx v
+
+(** 2 exchange rounds + the binary phase-king agreement. *)
+let rounds ctx = 2 + Phase_king.rounds ctx

@@ -1,0 +1,1 @@
+lib/baplus/ba_plus.ml: Array Ba Ctx Hashtbl List Net Option Proto String Wire

@@ -1,0 +1,1 @@
+lib/baplus/ba_plus.mli: Net

@@ -1,0 +1,1 @@
+lib/baplus/ext_ba_plus.ml: Array Ba_plus Ctx Hashtbl Merkle Net Option Proto Reed_solomon String Wire

@@ -1,0 +1,1 @@
+lib/baplus/ext_ba_plus.mli: Net

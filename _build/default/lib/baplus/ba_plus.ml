@@ -1,0 +1,80 @@
+(* Π_BA+ follows the Section 7 pseudocode line by line.
+
+   Counting arguments enforced here (n > 3t):
+   - a party sees at most two values with n−2t occurrences in step 1
+     (3(n−2t) <= n would give n <= 3t), so votes carry at most two values;
+   - at most two values can gather n−t votes in step 2 (each party votes for
+     at most two values, so 3(n−t) <= 2n would give n <= 3t);
+   - if n−2t honest parties share input v, every honest party votes for v and
+     the honest (a, b) pairs satisfy v ∈ {a, b} ⊆ {v, v'} for a single v'. *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+let encode_vote values = Wire.encode (Wire.w_list Wire.w_bytes values)
+
+(* A vote is valid only in canonical form: at most two values, strictly
+   ascending. Anything else is a malformed byzantine message, dropped. *)
+let decode_vote raw =
+  match Wire.decode_full (Wire.r_list ~max:3 (Wire.r_bytes ())) raw with
+  | Some ([] as vs) | Some ([ _ ] as vs) -> Some vs
+  | Some ([ v1; v2 ] as vs) when String.compare v1 v2 < 0 -> Some vs
+  | Some _ | None -> None
+
+(* Values occurring at least [threshold] times in [inbox], ascending. *)
+let values_with_support ~decode ~threshold inbox =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some raw ->
+          List.iter
+            (fun v ->
+              Hashtbl.replace counts v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+            (decode raw))
+    inbox;
+  Hashtbl.fold (fun v c acc -> if c >= threshold then v :: acc else acc) counts []
+  |> List.sort String.compare
+
+let run (ctx : Ctx.t) input =
+  let t = ctx.Ctx.t in
+  let quorum = Ctx.quorum ctx in
+  Proto.with_label "pi_ba_plus"
+    ((* Step 1: distribute inputs; find values received from n−2t parties. *)
+     let* inbox1 = Proto.broadcast input in
+     let seen =
+       values_with_support
+         ~decode:(fun raw -> [ raw ])
+         ~threshold:(ctx.Ctx.n - (2 * t))
+         inbox1
+     in
+     (* The counting argument caps [seen] at two values; if byzantine
+        equivocation could ever break this we must not crash. *)
+     let seen = match seen with v1 :: v2 :: _ -> [ v1; v2 ] | vs -> vs in
+     (* Step 2: vote for the values seen. *)
+     let* inbox2 = Proto.broadcast (encode_vote seen) in
+     let supported =
+       values_with_support
+         ~decode:(fun raw -> Option.value ~default:[] (decode_vote raw))
+         ~threshold:quorum inbox2
+     in
+     (* Step 3: derive (a, b) with a <= b. *)
+     let a, b =
+       match supported with
+       | [] -> (None, None)
+       | [ v ] -> (Some v, Some v)
+       | v :: rest -> (Some v, Some (List.nth rest (List.length rest - 1)))
+     in
+     (* Step 4: try to agree on a. *)
+     let* a' = Ba.Phase_king.run_option ctx a in
+     let happy_a = match (a, a') with Some x, Some y -> String.equal x y | _ -> false in
+     let* agreed_a = Ba.Phase_king.run_bit ctx happy_a in
+     if agreed_a then Proto.return a'
+     else
+       (* Step 5: try to agree on b. *)
+       let* b' = Ba.Phase_king.run_option ctx b in
+       let happy_b = match (b, b') with Some x, Some y -> String.equal x y | _ -> false in
+       let* agreed_b = Ba.Phase_king.run_bit ctx happy_b in
+       if agreed_b then Proto.return b' else Proto.return None)

@@ -1,0 +1,16 @@
+(** Π_BA+ (Section 7, Theorem 6): Byzantine Agreement for short (κ-bit)
+    values with two extra properties needed by the CA construction:
+
+    - {b Intrusion Tolerance} (Definition 3): the common output is an honest
+      party's input or ⊥ — byzantine parties cannot smuggle in a value of
+      their own.
+    - {b Bounded Pre-Agreement} (Definition 4): the output is ⊥ only if fewer
+      than [n − 2t] honest parties share the same input.
+
+    Communication: O(κn²) for the two exchange rounds plus at most four
+    invocations of the assumed Π_BA (two on κ-bit values, two on bits).
+
+    The intended inputs are κ-bit hash digests, but any byte values work. *)
+
+val run : Net.Ctx.t -> string -> string option Net.Proto.t
+(** [run ctx v] joins Π_BA+ with input [v]; [None] is the paper's ⊥. *)

@@ -1,0 +1,82 @@
+open Net
+
+let ( let* ) = Proto.( let* )
+
+let encode_tuple ~index ~codeword ~witness =
+  Wire.(
+    encode
+      (seq [ w_varint index; w_bytes codeword; w_bytes (Merkle.encode_witness witness) ]))
+
+let decode_tuple raw =
+  let open Wire in
+  decode_full
+    (fun cur ->
+      let* index = r_varint cur in
+      let* codeword = r_bytes () cur in
+      let* witness_raw = r_bytes () cur in
+      let* witness = Merkle.decode_witness witness_raw in
+      Some (index, codeword, witness))
+    raw
+
+(* Collect verified codewords for root [z_star] from an inbox: at most one
+   per index (collision resistance makes duplicates consistent anyway).
+   Stores [index -> (codeword, raw_tuple)] so a tuple can be republished
+   verbatim. *)
+let harvest ~n ~z_star ~into inbox =
+  Array.iter
+    (function
+      | None -> ()
+      | Some raw -> (
+          match decode_tuple raw with
+          | None -> ()
+          | Some (index, codeword, witness) ->
+              if
+                index >= 0 && index < n
+                && (not (Hashtbl.mem into index))
+                && Merkle.verify ~root:z_star ~index ~value:codeword witness
+              then Hashtbl.add into index (codeword, raw)))
+    inbox
+
+let run (ctx : Ctx.t) input =
+  let n = ctx.Ctx.n in
+  let k = Ctx.quorum ctx in
+  (* Step 1: erasure-code the input and commit to the codewords. *)
+  let codewords = Reed_solomon.encode ~n ~k input in
+  let tree = Merkle.build codewords in
+  let z = Merkle.root tree in
+  (* Step 2: agree on a root. *)
+  let* z_agreed = Ba_plus.run ctx z in
+  match z_agreed with
+  | None -> Proto.return None
+  | Some z_star ->
+      Proto.with_label "ext_distribute"
+        (let mine = String.equal z z_star in
+         (* A holder of the committed value already knows every authenticated
+            tuple; everyone else learns its own from round 3a. *)
+         let own_tuple j =
+           encode_tuple ~index:j ~codeword:codewords.(j) ~witness:(Merkle.witness tree j)
+         in
+         (* Step 3a: matching parties ship codeword j to party j. *)
+         let* inbox_a = Proto.exchange (fun j -> if mine then Some (own_tuple j) else None) in
+         let shares = Hashtbl.create n in
+         if mine then
+           Array.iteri (fun j c -> Hashtbl.add shares j (c, own_tuple j)) codewords
+         else harvest ~n ~z_star ~into:shares inbox_a;
+         (* Step 3b: republish your own verified codeword to everyone. *)
+         let republish =
+           Option.map snd (Hashtbl.find_opt shares ctx.Ctx.me)
+         in
+         let* inbox_b =
+           match republish with
+           | Some raw -> Proto.broadcast raw
+           | None -> Proto.receive_only ()
+         in
+         harvest ~n ~z_star ~into:shares inbox_b;
+         (* Step 4: reconstruct from any n−t verified codewords. Lemma 6 makes
+            failure unreachable when Π_BA+ returned non-⊥; stay total anyway. *)
+         let collected =
+           Hashtbl.fold (fun index (codeword, _) acc -> (index, codeword) :: acc) shares []
+         in
+         match Reed_solomon.decode ~n ~k collected with
+         | Ok value -> Proto.return (Some value)
+         | Error _ -> Proto.return None)

@@ -1,0 +1,20 @@
+(** Π_ℓBA+ (Section 7, Theorem 1): Byzantine Agreement for {e long} values
+    with Intrusion Tolerance and Bounded Pre-Agreement, at communication cost
+    [O(ℓn + κ·n²·log n) + BITS_κ(Π_BA)].
+
+    Construction: each party Reed–Solomon-encodes its ℓ-bit input into [n]
+    codewords of O(ℓ/n) bits, commits to them with a Merkle tree, and runs
+    Π_BA+ on the κ-bit root [z]. On a non-⊥ root [z*], parties holding the
+    matching value ship codeword [j] (with its Merkle witness) to party [j];
+    every party then republishes its own authenticated codeword to everyone,
+    and [n−t] verified codewords reconstruct the value by erasure decoding.
+
+    Merkle verification makes corrupted codewords detectable, so decoding
+    never sees a wrong share; Intrusion Tolerance of Π_BA+ guarantees the
+    committed value is an honest input, so reconstruction is consistent. *)
+
+val run : Net.Ctx.t -> string -> string option Net.Proto.t
+(** [run ctx v] joins Π_ℓBA+ with input [v] (arbitrary bytes). Output [None]
+    is ⊥. All honest outputs are equal; a non-⊥ output is an honest input
+    (Intrusion Tolerance); ⊥ implies fewer than [n−2t] honest parties shared
+    an input (Bounded Pre-Agreement). *)

@@ -1,0 +1,1 @@
+lib/baseline/approx_agreement.ml: Array Bigint Bitstring Ctx List Net Option Proto Wire

@@ -1,0 +1,1 @@
+lib/baseline/approx_agreement.mli: Bitstring Net

@@ -1,0 +1,1 @@
+lib/baseline/broadcast_ca.ml: Array Ba Bitstring Ctx List Net Proto Wire

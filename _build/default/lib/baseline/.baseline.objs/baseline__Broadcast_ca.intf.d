@@ -1,0 +1,1 @@
+lib/baseline/broadcast_ca.mli: Bitstring Net

@@ -1,0 +1,68 @@
+(** The introduction's "straightforward approach": every party broadcasts its
+    input via synchronous Byzantine Broadcast, giving all parties an
+    identical view of the n claimed inputs; a deterministic choice function
+    (the median of the trimmed common view) then yields a valid common
+    output.
+
+    This is the classical CA baseline the paper improves on. Optimal in
+    resilience and conceptually simple, but communication-heavy: n broadcasts
+    of ℓ-bit values. With BC realized as send + Turpin–Coan BA the total cost
+    is O(ℓn³) bits (O(ℓn²) would require an extension-protocol BC — which is
+    the very machinery the paper builds); either way it is ω(ℓn).
+
+    Correctness of the choice function: the common view contains all n−t
+    honest inputs, so at most t entries lie below the smallest honest input
+    and at most t above the largest; after discarding the t lowest and t
+    highest entries, every survivor — in particular the median — lies in the
+    honest inputs' range. *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+let encode_value v = Wire.encode (Wire.w_bits v)
+
+let decode_value ~bits raw =
+  match Wire.decode_full (Wire.r_bits ()) raw with
+  | Some v when Bitstring.length v = bits -> Some v
+  | Some _ | None -> None
+
+(* The deterministic choice on the identical view: drop non-values, trim t
+   from each side, take the median of the rest. At least n−t honest
+   broadcasts decode, so the trimmed slice is non-empty; guard anyway. *)
+let choose ~bits ~t ~fallback view =
+  let values = List.sort Bitstring.compare (List.filter_map (decode_value ~bits) view) in
+  let arr = Array.of_list values in
+  let count = Array.length arr in
+  if count <= 2 * t then fallback else arr.(t + ((count - (2 * t)) / 2))
+
+let run (ctx : Ctx.t) ~bits v_in =
+  if Bitstring.length v_in <> bits then invalid_arg "Broadcast_ca.run: input length";
+  let n = ctx.Ctx.n and t = ctx.Ctx.t in
+  Proto.with_label "broadcast_ca"
+    (let rec gather sender acc =
+       if sender = n then Proto.return (List.rev acc)
+       else
+         let* claimed =
+           Ba.Broadcast.run Ba.Phase_king.bytes_spec ctx ~sender (encode_value v_in)
+         in
+         gather (sender + 1) (claimed :: acc)
+     in
+     let* view = gather 0 [] in
+     Proto.return (choose ~bits ~t ~fallback:v_in view))
+
+(** The same protocol with the n broadcasts composed by {!Net.Proto.parallel}
+    instead of sequentially: identical outputs (the broadcasts are
+    independent and deterministic), O(n) rounds instead of O(n²). *)
+let run_parallel (ctx : Ctx.t) ~bits v_in =
+  if Bitstring.length v_in <> bits then
+    invalid_arg "Broadcast_ca.run_parallel: input length";
+  let n = ctx.Ctx.n and t = ctx.Ctx.t in
+  Proto.with_label "broadcast_ca"
+    (let* view =
+       Proto.parallel
+         (List.init n (fun sender ->
+              Ba.Broadcast.run Ba.Phase_king.bytes_spec ctx ~sender
+                (encode_value v_in)))
+     in
+     Proto.return (choose ~bits ~t ~fallback:v_in view))

@@ -1,0 +1,20 @@
+(** The introduction's "straightforward approach" to CA: every party
+    broadcasts its input via synchronous Byzantine Broadcast — giving all
+    parties an identical view of the n claimed inputs — then a deterministic
+    choice function (the median of the t-trimmed common view) yields a valid
+    common output.
+
+    Optimal resilience and conceptually simple, but communication-heavy:
+    with BC realized as send + BA the total cost is O(ℓn³) (O(ℓn²) would
+    itself require extension-protocol machinery). The main baseline of
+    experiments T1/T2/F1. *)
+
+val run : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
+(** All honest parties must join with values of width [bits]; the common
+    output lies within the honest inputs' range. The n broadcasts run
+    sequentially: O(n²) rounds. *)
+
+val run_parallel : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
+(** [run] with the n broadcasts composed by {!Net.Proto.parallel}: identical
+    outputs, O(n) rounds, same total communication up to multiplexing
+    framing. *)

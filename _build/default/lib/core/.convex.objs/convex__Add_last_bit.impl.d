@@ -1,0 +1,1 @@
+lib/core/add_last_bit.ml: Ba Bitstring Ctx Net Proto

@@ -1,0 +1,1 @@
+lib/core/add_last_bit.mli: Bitstring Net

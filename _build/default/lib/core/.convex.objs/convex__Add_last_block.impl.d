@@ -1,0 +1,1 @@
+lib/core/add_last_block.ml: Bitstring Ctx High_cost_ca Net Proto

@@ -1,0 +1,1 @@
+lib/core/add_last_block.mli: Bitstring Net

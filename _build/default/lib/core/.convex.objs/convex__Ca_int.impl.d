@@ -1,0 +1,1 @@
+lib/core/ca_int.ml: Ba Bigint Bool Ca_nat Ctx Net Proto

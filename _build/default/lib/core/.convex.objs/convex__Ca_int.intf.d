@@ -1,0 +1,1 @@
+lib/core/ca_int.mli: Bigint Net

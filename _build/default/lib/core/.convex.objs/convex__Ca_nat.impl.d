@@ -1,0 +1,1 @@
+lib/core/ca_nat.ml: Ba Bigint Bitstring Ctx Fixed_length_ca Fixed_length_ca_blocks High_cost_ca Net Proto

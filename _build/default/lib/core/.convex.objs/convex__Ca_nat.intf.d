@@ -1,0 +1,1 @@
+lib/core/ca_nat.mli: Bigint Net

@@ -1,0 +1,1 @@
+lib/core/find_prefix.ml: Baplus Bitstring Ctx Net Option Proto Wire

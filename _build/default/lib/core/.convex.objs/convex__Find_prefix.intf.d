@@ -1,0 +1,1 @@
+lib/core/find_prefix.mli: Bitstring Net

@@ -1,0 +1,1 @@
+lib/core/find_prefix_blocks.ml: Baplus Bitstring Ctx Find_prefix Net Option Proto

@@ -1,0 +1,1 @@
+lib/core/find_prefix_blocks.mli: Bitstring Net

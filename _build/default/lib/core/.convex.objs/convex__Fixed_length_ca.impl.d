@@ -1,0 +1,1 @@
+lib/core/fixed_length_ca.ml: Add_last_bit Bitstring Ctx Find_prefix Get_output Net Proto

@@ -1,0 +1,1 @@
+lib/core/fixed_length_ca.mli: Bitstring Net

@@ -1,0 +1,1 @@
+lib/core/fixed_length_ca_blocks.ml: Add_last_block Bitstring Ctx Find_prefix_blocks Get_output Net Proto

@@ -1,0 +1,1 @@
+lib/core/fixed_point.ml: Bigint Ca_int Ctx Format List Net Printf Proto String

@@ -1,0 +1,1 @@
+lib/core/get_output.ml: Array Ba Bitstring Ctx Net Option Proto

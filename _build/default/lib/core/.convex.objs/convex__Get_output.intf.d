@@ -1,0 +1,1 @@
+lib/core/get_output.mli: Bitstring Net

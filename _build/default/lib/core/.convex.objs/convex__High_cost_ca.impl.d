@@ -1,0 +1,1 @@
+lib/core/high_cost_ca.ml: Array Bitstring Ctx Hashtbl List Net Option Proto Wire

@@ -1,0 +1,1 @@
+lib/core/high_cost_ca.mli: Bitstring Net

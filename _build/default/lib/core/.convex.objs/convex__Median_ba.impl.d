@@ -1,0 +1,1 @@
+lib/core/median_ba.ml: Array Bitstring Ctx High_cost_ca List Net Proto

@@ -1,0 +1,1 @@
+lib/core/median_ba.mli: Bitstring Net

@@ -1,0 +1,1 @@
+lib/core/rank_ba.ml: Array Bitstring Ctx High_cost_ca List Net Proto

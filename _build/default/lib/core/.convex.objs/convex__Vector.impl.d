@@ -1,0 +1,1 @@
+lib/core/vector.ml: Array Bigint Ca_int Ctx Fun List Net Proto

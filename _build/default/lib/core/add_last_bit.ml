@@ -1,0 +1,16 @@
+(** ADDLASTBIT (Section 3, Lemma 2): extend the agreed prefix by one bit via
+    a single binary Π_BA on the next bit of each party's valid value [v].
+    The binary output is always an honest party's bit, so the extended prefix
+    still prefixes a valid value. *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+let run (ctx : Ctx.t) ~bits:len ~prefix_star v =
+  let i_star = Bitstring.length prefix_star in
+  if i_star >= len then invalid_arg "Add_last_bit.run: prefix already full";
+  if Bitstring.length v <> len then invalid_arg "Add_last_bit.run: value length";
+  Proto.with_label "add_last_bit"
+    (let* bit = Ba.Phase_king.run_bit ctx (Bitstring.get v (i_star + 1)) in
+     Proto.return (Bitstring.append_bit prefix_star bit))

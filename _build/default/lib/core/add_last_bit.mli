@@ -1,0 +1,15 @@
+(** ADDLASTBIT (Section 3, Lemma 2): extend the agreed prefix by one bit via
+    a single binary Π_BA on the next bit of each party's valid value. Over a
+    binary domain the BA output is always an honest party's bit, so the
+    extended prefix still prefixes some valid value. Cost: one bit-BA. *)
+
+val run :
+  Net.Ctx.t ->
+  bits:int ->
+  prefix_star:Bitstring.t ->
+  Bitstring.t ->
+  Bitstring.t Net.Proto.t
+(** [run ctx ~bits ~prefix_star v] returns [prefix_star] extended by the
+    agreed bit. Preconditions (Lemma 2): all honest parties share
+    [prefix_star] with [|prefix_star| < bits], and hold valid [bits]-bit
+    values [v] extending it. Raises [Invalid_argument] on length misuse. *)

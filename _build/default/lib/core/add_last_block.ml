@@ -1,0 +1,21 @@
+(** ADDLASTBLOCK (Section 4, Lemma 5): extend the agreed block-prefix by one
+    whole block by solving CA on the parties' next blocks with HIGHCOSTCA —
+    run once, on ℓ/n² bits, its O((ℓ/n²)·n³) = O(ℓn) cost is affordable. *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+let run (ctx : Ctx.t) ~bits:len ~prefix_star v =
+  let n2 = ctx.Ctx.n * ctx.Ctx.n in
+  if len mod n2 <> 0 then invalid_arg "Add_last_block.run: bits not a multiple of n^2";
+  let block_bits = len / n2 in
+  let i_star_bits = Bitstring.length prefix_star in
+  if i_star_bits mod block_bits <> 0 || i_star_bits >= len then
+    invalid_arg "Add_last_block.run: prefix must be a strict block multiple";
+  let next_block =
+    Bitstring.range v ~left:(i_star_bits + 1) ~right:(i_star_bits + block_bits)
+  in
+  Proto.with_label "add_last_block"
+    (let* block = High_cost_ca.run ctx ~bits:block_bits next_block in
+     Proto.return (Bitstring.append prefix_star block))

@@ -1,0 +1,14 @@
+(** ADDLASTBLOCK (Section 4, Lemma 5): extend the agreed block-prefix by one
+    whole block by solving CA on the parties' next blocks with HIGHCOSTCA —
+    run once, on ℓ/n² bits, so its O((ℓ/n²)·n³) = O(ℓn) cost is affordable.
+    Rounds: O(n). *)
+
+val run :
+  Net.Ctx.t ->
+  bits:int ->
+  prefix_star:Bitstring.t ->
+  Bitstring.t ->
+  Bitstring.t Net.Proto.t
+(** Preconditions (Lemma 5): [bits] a multiple of n²; all honest parties
+    share [prefix_star] (a strict block multiple) and hold valid [bits]-bit
+    values extending it. *)

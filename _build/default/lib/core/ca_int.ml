@@ -1,0 +1,15 @@
+(** Π_ℤ (Section 6, Corollaries 1–2): Convex Agreement over the integers.
+    Parties agree on a sign with one binary Π_BA — the agreed sign is some
+    honest party's sign, so 0 is a valid stand-in for every party whose sign
+    lost — then run Π_ℕ on the (possibly zeroed) magnitudes. *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+let run (ctx : Ctx.t) v_in =
+  let sign_in = Bigint.sign v_in < 0 in
+  let* sign_out = Ba.Phase_king.run_bit ctx sign_in in
+  let magnitude = if Bool.equal sign_out sign_in then Bigint.abs v_in else Bigint.zero in
+  let* magnitude_out = Ca_nat.run ctx magnitude in
+  Proto.return (Bigint.of_sign_magnitude ~negative:sign_out magnitude_out)

@@ -1,0 +1,12 @@
+(** Π_ℤ (Section 6, Corollaries 1–2): Convex Agreement over the integers —
+    the paper's headline protocol. One binary Π_BA agrees on a sign (always
+    some honest party's sign, so 0 is a valid stand-in for out-voted
+    parties), then Π_ℕ runs on the magnitudes.
+
+    With the repository's deterministic Π_BA: communication
+    O(ℓn + κ·n²·log²n)·(1 + o(1)) and rounds O(n log n) — Corollary 2, up to
+    the Π_BA substitution recorded in DESIGN.md. *)
+
+val run : Net.Ctx.t -> Bigint.t -> Bigint.t Net.Proto.t
+(** [run ctx v] joins Π_ℤ with input [v]; honest parties obtain a common
+    integer within their inputs' range (Definition 1). *)

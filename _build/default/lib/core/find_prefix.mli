@@ -1,0 +1,30 @@
+(** FINDPREFIX (Section 3): binary search, over bit positions, for the prefix
+    of a valid value — at least as long as the honest inputs' longest common
+    prefix — using Π_ℓBA+ on windows of the parties' values.
+
+    Lemma 1: on return all honest parties share [prefix_star]; every honest
+    party's [v] is valid (in the honest inputs' range) with prefix
+    [prefix_star]; and for {e every} bitstring of [|prefix_star| + 1] bits at
+    least t+1 honest parties hold a valid [v_bot] not extending it — the
+    precondition GETOUTPUT needs.
+
+    Complexity: O(log ℓ) iterations of Π_ℓBA+ on halving windows, i.e.
+    BITS = O(ℓn + κ·n²·log n·log ℓ) + O(log ℓ)·BITS_κ(Π_BA). *)
+
+type result = {
+  prefix_star : Bitstring.t;
+  v : Bitstring.t;  (** valid, ℓ bits, has [prefix_star] as a prefix *)
+  v_bot : Bitstring.t;  (** valid, ℓ bits; Lemma 1 (ii) *)
+  iterations : int;  (** diagnostic: Π_ℓBA+ invocations used *)
+}
+
+val run : Net.Ctx.t -> bits:int -> Bitstring.t -> result Net.Proto.t
+(** All honest parties must join with the same [bits] and a valid [bits]-bit
+    value. Raises [Invalid_argument] on a length mismatch. *)
+
+(** {1 Window codecs (shared with the blocks variant)} *)
+
+val encode_window : Bitstring.t -> string
+
+val decode_window : expect_bits:int -> string -> Bitstring.t option
+(** Total on untrusted bytes; [None] unless exactly [expect_bits] bits. *)

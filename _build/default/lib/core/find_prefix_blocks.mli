@@ -1,0 +1,18 @@
+(** FINDPREFIXBLOCKS (Section 4, Lemma 4): FINDPREFIX with the binary search
+    over n² blocks of ℓ/n² bits instead of over single bits — O(log n)
+    Π_ℓBA+ invocations instead of O(log ℓ), for very long inputs.
+
+    The paper's pseudocode initializes the bound as [n + 1] while the text
+    and Lemma 9 search n² blocks; this follows the text (DESIGN.md). *)
+
+type result = {
+  prefix_star : Bitstring.t;  (** a whole number of blocks *)
+  v : Bitstring.t;
+  v_bot : Bitstring.t;
+  iterations : int;
+}
+
+val run : Net.Ctx.t -> bits:int -> Bitstring.t -> result Net.Proto.t
+(** [bits] must be a positive multiple of n²; all honest parties join with
+    the same [bits] and valid [bits]-bit values. Guarantees as in
+    {!Find_prefix.run}, with "bit" read as "block". *)

@@ -1,0 +1,20 @@
+(** FIXEDLENGTHCA (Section 3, Theorem 2): Convex Agreement for ℕ inputs of a
+    publicly known bit-length ℓ, with communication
+    O(ℓn + κ·n²·log n·log ℓ) + O(log ℓ)·BITS_κ(Π_BA). *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+(** [run ctx ~bits v] joins FIXEDLENGTHCA with the ℓ-bit value [v]
+    ([ℓ = bits]). All honest parties must join with the same [bits] and
+    valid [bits]-bit values; they obtain a common output in the honest
+    inputs' range. *)
+let run (ctx : Ctx.t) ~bits v =
+  let* { Find_prefix.prefix_star; v; v_bot; iterations = _ } =
+    Find_prefix.run ctx ~bits v
+  in
+  if Bitstring.length prefix_star = bits then Proto.return v
+  else
+    let* prefix_star = Add_last_bit.run ctx ~bits ~prefix_star v in
+    Get_output.run ctx ~bits ~prefix_star v_bot

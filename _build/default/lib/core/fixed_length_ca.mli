@@ -1,0 +1,13 @@
+(** FIXEDLENGTHCA (Section 3, Theorem 2): Convex Agreement for ℕ inputs of a
+    publicly known bit-length ℓ.
+
+    FINDPREFIX agrees on a valid prefix; if it is full-width the parties
+    already share a valid value, otherwise ADDLASTBIT extends it past the
+    honest disagreement point and GETOUTPUT resolves the completion.
+
+    Communication O(ℓn + κ·n²·log n·log ℓ) + O(log ℓ)·BITS_κ(Π_BA); rounds
+    O(log ℓ)·ROUNDS_κ(Π_BA). *)
+
+val run : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
+(** All honest parties must join with the same [bits] and valid [bits]-bit
+    values; they obtain a common output within the honest inputs' range. *)

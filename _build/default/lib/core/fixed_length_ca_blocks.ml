@@ -1,0 +1,17 @@
+(** FIXEDLENGTHCABLOCKS (Section 4, Theorem 4): Convex Agreement for ℕ
+    inputs of a publicly known length ℓ that is a multiple of n² — the
+    round-efficient variant for very long inputs, with communication
+    O(ℓn + κ·n²·log²n) + O(log n)·BITS_κ(Π_BA). *)
+
+open Net
+
+let ( let* ) = Proto.( let* )
+
+let run (ctx : Ctx.t) ~bits v =
+  let* { Find_prefix_blocks.prefix_star; v; v_bot; iterations = _ } =
+    Find_prefix_blocks.run ctx ~bits v
+  in
+  if Bitstring.length prefix_star = bits then Proto.return v
+  else
+    let* prefix_star = Add_last_block.run ctx ~bits ~prefix_star v in
+    Get_output.run ctx ~bits ~prefix_star v_bot

@@ -1,0 +1,10 @@
+(** FIXEDLENGTHCABLOCKS (Section 4, Theorem 4): Convex Agreement for ℕ
+    inputs of a publicly known length ℓ that is a multiple of n² — the
+    round-efficient variant for very long inputs.
+
+    Communication O(ℓn + κ·n²·log²n) + O(log n)·BITS_κ(Π_BA); rounds
+    O(n) + O(log n)·ROUNDS_κ(Π_BA). *)
+
+val run : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
+(** All honest parties must join with the same [bits] (a positive multiple
+    of n²) and valid [bits]-bit values. *)

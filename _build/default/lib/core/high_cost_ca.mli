@@ -1,0 +1,35 @@
+(** HIGHCOSTCA (Appendix A.4, Theorem 3): the adjusted Median-Validity
+    protocol of Stolz–Wattenhofer [47] — a king-based CA protocol with
+    communication O(ℓ·n³) and 2 + 4(t+1) rounds, resilient for t < n/3.
+
+    Used by the main construction only on short inputs (one block, a block
+    count), where the cubic cost is affordable, and as the "existing CA
+    protocol" baseline. {!Median_ba} reuses the search stage with the
+    original median-window interval rule via {!run_custom}. *)
+
+val run : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
+(** All honest parties must join with values of the same width [bits]; the
+    common output is a [bits]-wide value in the honest inputs' range. *)
+
+(** {1 Custom trusted-interval rules} *)
+
+val run_custom :
+  Net.Ctx.t ->
+  bits:int ->
+  select_interval:
+    (sorted:Bitstring.t array -> k:int -> t:int -> Bitstring.t * Bitstring.t) ->
+  Bitstring.t ->
+  Bitstring.t Net.Proto.t
+(** [select_interval ~sorted ~k ~t] receives the ascending non-empty array of
+    valid values a party received in the setup stage and [k], an upper bound
+    on how many of them byzantine parties contributed, and returns the
+    party's trusted interval [(lo, hi)], [lo <= hi]. Soundness requirement:
+    the interval must lie within the guarantee the caller wants on outputs
+    (for plain CA, within the honest inputs' range) and all honest parties'
+    intervals must share a common point. *)
+
+val trim_extremes :
+  sorted:Bitstring.t array -> k:int -> t:int -> Bitstring.t * Bitstring.t
+(** The Appendix A.4 rule: discard the k lowest and k highest received
+    values; by Lemma 10 the rest — which contains the (t+1)-th lowest honest
+    input — lies within the honest range. *)

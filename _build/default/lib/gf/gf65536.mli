@@ -1,0 +1,32 @@
+(** The Galois field GF(2^16), the codeword alphabet of the Reed–Solomon
+    substrate (Section 7 requires a field with [n <= 2^a - 1]; 16-bit symbols
+    support up to 65535 parties).
+
+    Elements are ints in [0, 65535]. Arithmetic uses log/exp tables over the
+    primitive polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B) with generator 2;
+    primitivity is checked when the tables are built. *)
+
+type t = int
+(** Invariant: [0 <= x <= 0xffff]. Operations raise [Invalid_argument] on
+    out-of-range inputs. *)
+
+val order : int
+(** 65536. *)
+
+val zero : t
+val one : t
+val add : t -> t -> t
+(** Also subtraction (characteristic 2). *)
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+val inv : t -> t
+(** Raises [Division_by_zero] on [inv 0]. *)
+
+val div : t -> t -> t
+val pow : t -> int -> t
+val exp : int -> t
+(** [exp i] = generator^i (any int exponent, reduced mod 65535). *)
+
+val log : t -> int
+(** Discrete log base the generator. Raises [Invalid_argument] on [log 0]. *)

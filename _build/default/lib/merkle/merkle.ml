@@ -1,0 +1,84 @@
+(* The leaf count is padded to the next power of two with a distinguished
+   empty-leaf digest, so every authentication path has the same length
+   ceil(log2 n) and verification needs only the index and the path. *)
+
+type root = string
+type witness = { path : string list (* sibling hashes, leaf level first *) }
+
+type tree = {
+  leaves : int; (* real leaf count *)
+  padded : int; (* power of two *)
+  levels : string array array; (* levels.(0) = leaf digests, last = [| root |] *)
+}
+
+let hash_leaf v = Sha256.digest ("\x00" ^ v)
+let hash_node l r = Sha256.digest ("\x01" ^ l ^ r)
+let empty_leaf = Sha256.digest "\x02"
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+let build values =
+  let leaves = Array.length values in
+  if leaves = 0 then invalid_arg "Merkle.build: empty";
+  let padded = next_pow2 leaves in
+  let level0 =
+    Array.init padded (fun i -> if i < leaves then hash_leaf values.(i) else empty_leaf)
+  in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else
+      let next =
+        Array.init (Array.length level / 2) (fun i ->
+            hash_node level.(2 * i) level.((2 * i) + 1))
+      in
+      up (level :: acc) next
+  in
+  { leaves; padded; levels = Array.of_list (up [] level0) }
+
+let root t = t.levels.(Array.length t.levels - 1).(0)
+let leaf_count t = t.leaves
+
+let witness t i =
+  if i < 0 || i >= t.leaves then invalid_arg "Merkle.witness";
+  let rec go level idx acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else
+      let sibling = t.levels.(level).(idx lxor 1) in
+      go (level + 1) (idx / 2) (sibling :: acc)
+  in
+  { path = go 0 i [] }
+
+let verify ~root ~index ~value w =
+  if index < 0 then false
+  else
+    let rec go idx h = function
+      | [] -> idx = 0 && String.equal h root
+      | sib :: rest ->
+          if String.length sib <> Sha256.digest_size then false
+          else
+            let h' = if idx land 1 = 0 then hash_node h sib else hash_node sib h in
+            go (idx / 2) h' rest
+    in
+    go index (hash_leaf value) w.path
+
+let witness_size_bits w = 8 * (1 + (Sha256.digest_size * List.length w.path))
+
+let encode_witness w =
+  (* depth byte followed by the concatenated 32-byte siblings. *)
+  let depth = List.length w.path in
+  if depth > 255 then invalid_arg "Merkle.encode_witness: too deep";
+  String.concat "" (String.make 1 (Char.chr depth) :: w.path)
+
+let decode_witness s =
+  if String.length s < 1 then None
+  else
+    let depth = Char.code s.[0] in
+    if String.length s <> 1 + (depth * Sha256.digest_size) then None
+    else
+      let path =
+        List.init depth (fun i ->
+            String.sub s (1 + (i * Sha256.digest_size)) Sha256.digest_size)
+      in
+      Some { path }

@@ -1,0 +1,1 @@
+lib/net/adversary.ml: Array Bytes Char Hashtbl Option Printf Prng String

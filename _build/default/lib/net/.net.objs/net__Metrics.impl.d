@@ -1,0 +1,1 @@
+lib/net/metrics.ml: Format Hashtbl List Option

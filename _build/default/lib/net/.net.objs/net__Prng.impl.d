@@ -1,0 +1,1 @@
+lib/net/prng.ml: Char Int64 String

@@ -1,0 +1,1 @@
+lib/net/proto.ml: Array List Option Wire

@@ -1,0 +1,1 @@
+lib/net/sim.ml: Adversary Array Ctx List Metrics Printf Proto String Trace

@@ -1,0 +1,1 @@
+lib/net/sim.mli: Adversary Ctx Metrics Proto Trace

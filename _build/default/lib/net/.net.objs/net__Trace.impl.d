@@ -1,0 +1,1 @@
+lib/net/trace.ml: Array Buffer Format Hashtbl List Option Printf

@@ -1,0 +1,35 @@
+(** Communication accounting.
+
+    [BITS_ℓ(Π)] in the paper is the number of bits sent by honest parties;
+    the simulator reports the bits actually sent by honest parties in a run.
+    Self-addressed messages are free (the model's "send to all" includes
+    remembering your own value). Each message costs [8 × bytes]: the wire is
+    byte-aligned, a documented constant-factor deviation (DESIGN.md).
+    Byzantine traffic is tracked separately and never counts toward
+    [honest_bits].
+
+    Per-label counters (see {!Proto.with_label}) attribute honest bits to the
+    sending party's innermost active label — the basis of the
+    component-ablation experiment (T5). *)
+
+type t = {
+  mutable rounds : int;
+  mutable honest_bits : int;
+  mutable honest_msgs : int;
+  mutable byz_bits : int;
+  mutable byz_msgs : int;
+  by_label : (string, int) Hashtbl.t;
+}
+
+val create : unit -> t
+
+val no_label : string
+(** Label under which unlabelled traffic is recorded. *)
+
+val record_honest : t -> label:string option -> bytes:int -> unit
+val record_byzantine : t -> bytes:int -> unit
+
+val labels : t -> (string * int) list
+(** Per-label honest bits, largest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-randomness (splitmix64) for adversary strategies and
+    workload generation. Every experiment in the repository is reproducible
+    from its seed; OCaml's global [Random] state is never used. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 g =
+  let open Int64 in
+  g.state <- add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform int in [0, bound). Raises [Invalid_argument] if [bound <= 0]. *)
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 g) 1) (Int64.of_int bound))
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let bytes g len = String.init len (fun _ -> Char.chr (int g 256))
+
+(** A fresh generator whose seed mixes [g]'s stream with [salt] — lets one
+    master seed drive independent sub-streams. *)
+let split g ~salt = create (Int64.to_int (next_int64 g) lxor (salt * 0x9E3779B9))

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-randomness (splitmix64) for adversary strategies and
+    workload generation. Every experiment in the repository is reproducible
+    from its seed; OCaml's global [Random] state is never used. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+(** The raw splitmix64 stream. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+val bytes : t -> int -> string
+
+val split : t -> salt:int -> t
+(** A fresh generator derived from [g]'s stream and [salt] — lets one master
+    seed drive independent sub-streams. *)

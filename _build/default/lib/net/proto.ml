@@ -1,0 +1,140 @@
+(** A deterministic round-structured protocol, as a resumable computation.
+
+    A protocol alternates local computation with synchronous communication
+    rounds. In each round every party chooses (at most) one message per
+    recipient; the simulator then delivers all round-[r] messages at once and
+    resumes every party with its inbox — exactly the synchronous model of
+    Section 2 of the paper.
+
+    Sub-protocols compose by monadic sequencing: running Π_BA inside
+    FINDPREFIX is just [let* out = Phase_king.run ctx v in ...]; the rounds
+    interleave in lock-step automatically because all honest parties follow
+    the same control flow (every branch the protocols take is on agreed-upon
+    data). *)
+
+type inbox = string option array
+(** [inbox.(s)] is the message received from party [s] this round, [None] if
+    [s] sent nothing (or an empty slot for self). Senders are authenticated
+    by construction — the simulator fills slot [s] only with [s]'s message,
+    which models the paper's authenticated channels. *)
+
+type 'a t =
+  | Done of 'a
+  | Step of (int -> string option) * (inbox -> 'a t)
+      (** [Step (out, k)]: send [out recipient] to every recipient, then
+          continue with the received inbox. *)
+  | Push of string * 'a t  (** Begin a metrics label scope (see {!Metrics}). *)
+  | Pop of 'a t  (** End the innermost label scope. *)
+
+let return x = Done x
+
+let rec bind m f =
+  match m with
+  | Done x -> f x
+  | Step (out, k) -> Step (out, fun inbox -> bind (k inbox) f)
+  | Push (l, rest) -> Push (l, bind rest f)
+  | Pop rest -> Pop (bind rest f)
+
+let ( let* ) = bind
+let map m f = bind m (fun x -> return (f x))
+let ( let+ ) = map
+
+(** [exchange out] runs one communication round sending [out r] to each
+    recipient [r]. *)
+let exchange out = Step (out, fun inbox -> Done inbox)
+
+(** One round in which the same message goes to every party. *)
+let broadcast msg = exchange (fun _ -> Some msg)
+
+(** One round in which this party sends nothing but still receives. *)
+let receive_only () = exchange (fun _ -> None)
+
+(** [with_label label m] attributes the communication of [m] to [label] in
+    the metrics (used by the component-ablation experiment). Scopes nest. *)
+let with_label label m = Push (label, bind m (fun x -> Pop (Done x)))
+
+(** [round_count m] — number of communication rounds a protocol value will
+    consume if every inbox is empty. Useful only for tests of static-round
+    protocols. *)
+let rec round_count = function
+  | Done _ -> 0
+  | Step (_, k) -> 1 + round_count (k [||])
+  | Push (_, m) | Pop m -> round_count m
+
+(* ---- parallel composition ------------------------------------------------ *)
+
+(* Wire format for a multiplexed round message: a list of per-branch
+   optional payloads (varint count, then option-tagged bytes). Defensive:
+   anything malformed, or with the wrong branch count, reads as all-None. *)
+let encode_mux slots =
+  if Array.for_all Option.is_none slots then None
+  else
+    Some
+      (Wire.encode
+         (Wire.w_list (Wire.w_option Wire.w_bytes) (Array.to_list slots)))
+
+let decode_mux ~branches raw =
+  match raw with
+  | None -> Array.make branches None
+  | Some raw -> (
+      match Wire.decode_full (Wire.r_list ~max:branches (Wire.r_option (Wire.r_bytes ()))) raw with
+      | Some slots when List.length slots = branches -> Array.of_list slots
+      | Some _ | None -> Array.make branches None)
+
+(* Labels inside parallel branches are stripped: the branches' scopes would
+   interleave on one per-party stack with no consistent meaning. Label the
+   composition from outside instead. *)
+let rec strip_labels = function
+  | Push (_, m) | Pop m -> strip_labels m
+  | (Done _ | Step _) as m -> m
+
+(** [parallel ps] runs the protocols [ps] concurrently: each round carries
+    one multiplexed message per recipient containing every still-running
+    branch's message, and every branch receives its slice of the inbox.
+    Finishes when all branches have finished, in
+    [max_i round_count(ps_i)] rounds — against [sum_i] for sequential
+    composition. All honest parties must compose the same branch list
+    (branch count and order are protocol parameters).
+
+    Used to run independent sub-protocol instances — e.g. n broadcasts, one
+    per sender — without paying their rounds sequentially. Labels inside
+    branches are stripped; wrap the whole composition in {!with_label}. *)
+let parallel protocols =
+  let branches = List.length protocols in
+  if branches = 0 then invalid_arg "Proto.parallel: no branches";
+  let rec advance states =
+    let states = Array.map strip_labels states in
+    if Array.for_all (function Done _ -> true | _ -> false) states then
+      Done
+        (Array.to_list
+           (Array.map (function Done v -> v | _ -> assert false) states))
+    else
+      let out recipient =
+        encode_mux
+          (Array.map
+             (function Step (out, _) -> out recipient | _ -> None)
+             states)
+      in
+      Step
+        ( out,
+          fun inbox ->
+            (* Pre-split the inbox once per sender, then slice per branch. *)
+            let split = Array.map (fun raw -> decode_mux ~branches raw) inbox in
+            advance
+              (Array.mapi
+                 (fun b state ->
+                   match state with
+                   | Step (_, k) -> k (Array.map (fun slots -> slots.(b)) split)
+                   | done_ -> done_)
+                 states) )
+  in
+  advance (Array.of_list (List.map strip_labels protocols))
+
+(** Two-branch convenience over {!parallel}. *)
+let both a b =
+  map
+    (parallel [ map a (fun x -> `A x); map b (fun y -> `B y) ])
+    (function
+      | [ `A x; `B y ] -> (x, y)
+      | [ `B y; `A x ] -> (x, y)
+      | _ -> assert false)

@@ -1,0 +1,69 @@
+(** A deterministic round-structured protocol, as a resumable computation.
+
+    A protocol alternates local computation with synchronous communication
+    rounds: each round every party chooses at most one message per recipient,
+    the runtime delivers all round-[r] messages at once, and every party
+    resumes with its inbox — exactly the synchronous model of Section 2 of
+    the paper.
+
+    Sub-protocols compose by monadic sequencing — running Π_BA inside
+    FINDPREFIX is [let* out = Phase_king.run ctx v in ...]; rounds interleave
+    in lock-step automatically because honest parties branch only on
+    agreed-upon data.
+
+    Values of this type are transport-agnostic: {!Sim} executes them in the
+    deterministic adversarial simulator, [Net_unix] over a real socket mesh.
+    The constructors are exposed because runtimes pattern-match on them;
+    protocol code should use the combinators below. *)
+
+type inbox = string option array
+(** [inbox.(s)]: the message received from party [s] this round ([None] if
+    [s] sent nothing). Senders are authenticated by construction — slot [s]
+    only ever holds [s]'s message, the paper's authenticated channels. *)
+
+type 'a t =
+  | Done of 'a
+  | Step of (int -> string option) * (inbox -> 'a t)
+      (** [Step (out, k)]: send [out recipient] to every recipient, then
+          continue with the received inbox. *)
+  | Push of string * 'a t  (** Begin a metrics label scope (see {!Metrics}). *)
+  | Pop of 'a t  (** End the innermost label scope. *)
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val map : 'a t -> ('a -> 'b) -> 'b t
+val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+
+val exchange : (int -> string option) -> inbox t
+(** One communication round, sending [out r] to each recipient [r]. *)
+
+val broadcast : string -> inbox t
+(** One round sending the same message to every party (self included — the
+    paper's "send to all"; self-messages are free in the metrics). *)
+
+val receive_only : unit -> inbox t
+(** One round sending nothing. *)
+
+val with_label : string -> 'a t -> 'a t
+(** Attribute the communication of a sub-protocol to a label in the metrics
+    (the component-ablation experiment, T5). Scopes nest; the innermost
+    label wins. *)
+
+val round_count : 'a t -> int
+(** Rounds consumed when every inbox is empty — only meaningful for
+    protocols whose round structure is input-independent (tests). *)
+
+(** {1 Parallel composition} *)
+
+val parallel : 'a t list -> 'a list t
+(** [parallel ps] runs the branches concurrently: each round carries one
+    multiplexed message per recipient holding every still-running branch's
+    message, each branch receives its slice of the inbox — so the whole
+    composition takes [max] rather than [sum] of the branches' rounds. All
+    honest parties must compose the same branch count and order (a protocol
+    parameter). Labels inside branches are stripped — wrap the composition
+    in {!with_label} instead. Raises [Invalid_argument] on an empty list. *)
+
+val both : 'a t -> 'b t -> ('a * 'b) t
+(** Two-branch {!parallel}. *)

@@ -1,0 +1,222 @@
+(* One thread per party; one socketpair per unordered party pair; one
+   receiver thread per connection end, draining frames into a mailbox.
+
+   Because receivers always drain, a party's sends can only block on a peer
+   whose receiver is alive, never on application backpressure — the classic
+   all-write-then-all-read deadlock cannot occur.
+
+   Wire format per frame:  round:u32  tag:u8(0|1)  [len:u32 payload]  — all
+   big-endian. An explicit tag-0 frame is sent even when the protocol
+   prescribes silence, which is what keeps rounds aligned without a barrier. *)
+
+type stats = { bytes_sent : int; frames_sent : int; rounds : int }
+
+(* ---- thread-safe mailbox of incoming frames, in round order ------------- *)
+
+module Mailbox = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    queue : (int * string option) Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+    }
+
+  let push box frame =
+    Mutex.lock box.mutex;
+    Queue.push frame box.queue;
+    Condition.signal box.nonempty;
+    Mutex.unlock box.mutex
+
+  let close box =
+    Mutex.lock box.mutex;
+    box.closed <- true;
+    Condition.signal box.nonempty;
+    Mutex.unlock box.mutex
+
+  (* Blocking pop; checks the frame belongs to [round]. *)
+  let take box ~round =
+    Mutex.lock box.mutex;
+    let rec wait () =
+      if not (Queue.is_empty box.queue) then begin
+        let r, payload = Queue.pop box.queue in
+        Mutex.unlock box.mutex;
+        if r <> round then
+          failwith (Printf.sprintf "Net_unix: expected round %d, got %d" round r);
+        payload
+      end
+      else if box.closed then begin
+        Mutex.unlock box.mutex;
+        failwith "Net_unix: connection closed mid-round"
+      end
+      else begin
+        Condition.wait box.nonempty box.mutex;
+        wait ()
+      end
+    in
+    wait ()
+end
+
+(* ---- framing ------------------------------------------------------------- *)
+
+let write_u32 oc v =
+  output_char oc (Char.chr ((v lsr 24) land 0xff));
+  output_char oc (Char.chr ((v lsr 16) land 0xff));
+  output_char oc (Char.chr ((v lsr 8) land 0xff));
+  output_char oc (Char.chr (v land 0xff))
+
+let read_u32 ic =
+  let a = input_byte ic in
+  let b = input_byte ic in
+  let c = input_byte ic in
+  let d = input_byte ic in
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let write_frame oc ~round payload =
+  write_u32 oc round;
+  (match payload with
+  | None -> output_char oc '\000'
+  | Some body ->
+      output_char oc '\001';
+      write_u32 oc (String.length body);
+      output_string oc body);
+  flush oc
+
+let read_frame ic =
+  let round = read_u32 ic in
+  match input_byte ic with
+  | 0 -> (round, None)
+  | 1 ->
+      let len = read_u32 ic in
+      let body = really_input_string ic len in
+      (round, Some body)
+  | tag -> failwith (Printf.sprintf "Net_unix: bad frame tag %d" tag)
+
+(* ---- the runner ----------------------------------------------------------- *)
+
+let run ?t ~n protocol =
+  if n < 1 then invalid_arg "Net_unix.run: n < 1";
+  (* A peer that failed has shut its sockets down; writing to it must raise
+     (EPIPE -> Sys_error) in the writing party, not kill the process. *)
+  (if Sys.os_type = "Unix" then
+     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let t = match t with Some t -> t | None -> (n - 1) / 3 in
+  (* Socket mesh: fds.(i).(j) is party i's endpoint towards party j. *)
+  let fds = Array.make_matrix n n Unix.stdin in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      fds.(i).(j) <- a;
+      fds.(j).(i) <- b
+    done
+  done;
+  let mailboxes = Array.init n (fun _ -> Array.init n (fun _ -> Mailbox.create ())) in
+  let bytes_sent = Atomic.make 0 in
+  let frames_sent = Atomic.make 0 in
+  (* Receiver threads: one per directed connection. *)
+  let receivers = ref [] in
+  for me = 0 to n - 1 do
+    for peer = 0 to n - 1 do
+      if peer <> me then begin
+        let ic = Unix.in_channel_of_descr fds.(me).(peer) in
+        let box = mailboxes.(me).(peer) in
+        let thread =
+          Thread.create
+            (fun () ->
+              try
+                while true do
+                  Mailbox.push box (read_frame ic)
+                done
+              with End_of_file | Sys_error _ | Failure _ -> Mailbox.close box)
+            ()
+        in
+        receivers := thread :: !receivers
+      end
+    done
+  done;
+  (* Party threads. *)
+  let outputs = Array.make n None in
+  let errors = Array.make n None in
+  let rounds_of = Array.make n 0 in
+  let party me () =
+    let ocs =
+      Array.init n (fun j ->
+          if j = me then None else Some (Unix.out_channel_of_descr fds.(me).(j)))
+    in
+    let rec go state round =
+      match state with
+      | Net.Proto.Done v ->
+          rounds_of.(me) <- round;
+          v
+      | Net.Proto.Push (_, rest) | Net.Proto.Pop rest -> go rest round
+      | Net.Proto.Step (out, k) ->
+          let self = out me in
+          Array.iteri
+            (fun j oc ->
+              match oc with
+              | None -> ()
+              | Some oc ->
+                  let payload = out j in
+                  write_frame oc ~round payload;
+                  Atomic.incr frames_sent;
+                  (match payload with
+                  | Some body ->
+                      ignore
+                        (Atomic.fetch_and_add bytes_sent (String.length body))
+                  | None -> ()))
+            ocs;
+          let inbox =
+            Array.init n (fun j ->
+                if j = me then self else Mailbox.take mailboxes.(me).(j) ~round)
+          in
+          go (k inbox) (round + 1)
+    in
+    match go (protocol (Net.Ctx.make ~n ~t ~me)) 0 with
+    | v -> outputs.(me) <- Some v
+    | exception e ->
+        errors.(me) <- Some e;
+        (* Fail fast: shut down this party's connections so peers waiting on
+           its frames fail with "connection closed" instead of deadlocking. *)
+        for j = 0 to n - 1 do
+          if j <> me then
+            try Unix.shutdown fds.(me).(j) Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ()
+        done
+  in
+  let threads = Array.init n (fun me -> Thread.create (party me) ()) in
+  Array.iter Thread.join threads;
+  (* Shut the mesh down. A plain close would not wake receiver threads
+     blocked inside read(2); shutdown(2) delivers them EOF first. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      List.iter
+        (fun fd ->
+          (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()))
+        [ fds.(i).(j); fds.(j).(i) ]
+    done
+  done;
+  List.iter Thread.join !receivers;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ fds.(i).(j); fds.(j).(i) ]
+    done
+  done;
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  let outs =
+    Array.map (function Some v -> v | None -> failwith "Net_unix: missing output") outputs
+  in
+  ( outs,
+    {
+      bytes_sent = Atomic.get bytes_sent;
+      frames_sent = Atomic.get frames_sent;
+      rounds = Array.fold_left max 0 rounds_of;
+    } )

@@ -1,0 +1,35 @@
+(** Real-transport execution of protocol values.
+
+    The protocols in this repository are transport-agnostic values of type
+    ['a Net.Proto.t]. {!Net.Sim} executes them in a deterministic lock-step
+    simulator (with adversaries and exact bit accounting); this module
+    executes the {e same values} over an actual full mesh of Unix socket
+    pairs, one POSIX thread per party, with framed length-prefixed messages —
+    the shape of a production deployment.
+
+    Scope: honest executions. The synchronous-round alignment comes from the
+    framing (every party writes exactly one frame per peer per round, a
+    receiver thread per connection drains frames into a mailbox, so rounds
+    align and writers never deadlock); Byzantine behaviour and rushing
+    adversaries are a simulator concern. All protocols in this repository
+    terminate in the same round at every honest party, which is the
+    precondition for a clean shutdown.
+
+    Determinism: protocols are deterministic, so a [Net_unix.run] and a
+    [Net.Sim.run] of the same protocol on the same inputs produce identical
+    outputs — asserted by the cross-backend tests. *)
+
+type stats = {
+  bytes_sent : int;  (** Total payload bytes written by all parties. *)
+  frames_sent : int;  (** Total frames, including explicit empty frames. *)
+  rounds : int;  (** Maximum round count over parties. *)
+}
+
+val run :
+  ?t:int -> n:int -> (Net.Ctx.t -> 'a Net.Proto.t) -> 'a array * stats
+(** [run ~n protocol] connects [n] parties over a socket mesh, runs
+    [protocol ctx] on a thread per party, and returns their outputs in party
+    order. [t] (default [(n-1)/3]) is the resilience parameter handed to the
+    contexts; no party actually misbehaves. Raises whatever a party's
+    protocol raises, and [Failure] on transport-level protocol violations
+    (frame from a wrong round, truncated stream). *)

@@ -1,0 +1,26 @@
+(** Reed–Solomon erasure codes over GF(2^16) — the paper's RS.ENCODE /
+    RS.DECODE with parameters (n, n−t) (Section 7).
+
+    [encode ~n ~k v] splits a value [v] into [n] codewords of
+    O(|v|/k) = O(|v|/n) bits each such that any [k] of them reconstruct [v]
+    exactly. Encoding is systematic: the first [k] codewords carry the (length
+    framed, zero padded) message symbols.
+
+    Erasure decoding suffices for the protocol: corrupted codewords are
+    detected and discarded via Merkle witnesses before decoding, exactly as in
+    the paper, so [decode] receives only index-authenticated codewords. *)
+
+val encode : n:int -> k:int -> string -> string array
+(** Raises [Invalid_argument] unless [1 <= k <= n < 65536]. All returned
+    codewords have equal length [codeword_bytes ~k ~msg_bytes:(length v)]. *)
+
+val decode : n:int -> k:int -> (int * string) list -> (string, string) result
+(** [decode ~n ~k shares] reconstructs the original value from at least [k]
+    shares [(index, codeword)] with distinct indices in [0, n-1]. Extra shares
+    beyond [k] are ignored (they are already authenticated). Returns
+    [Error reason] on malformed input: too few shares, duplicate or
+    out-of-range indices, inconsistent codeword lengths, or framing that does
+    not parse (possible only if the encoder was byzantine). *)
+
+val codeword_bytes : k:int -> msg_bytes:int -> int
+(** Size of each codeword produced by [encode] for a [msg_bytes]-byte value. *)

@@ -1,0 +1,111 @@
+type t = {
+  n : int;
+  t : int;
+  protocol : string;
+  workload : string;
+  adversary : string;
+  attack : string;
+  bits : int;
+  aa_rounds : int;
+  seed : int;
+}
+
+let default =
+  {
+    n = 7;
+    t = 2;
+    protocol = "pi-z";
+    workload = "sensors";
+    adversary = "equivocate";
+    attack = "outlier-high";
+    bits = 64;
+    aa_rounds = 8;
+    seed = 1;
+  }
+
+let ( let* ) = Result.bind
+
+let parse_int ~line raw =
+  match int_of_string_opt (String.trim raw) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "line %d: %S is not an integer" line raw)
+
+let apply acc ~line ~key ~value =
+  let int () = parse_int ~line value in
+  let str () = Ok (String.trim value) in
+  match String.trim key with
+  | "n" ->
+      let* v = int () in
+      Ok { acc with n = v }
+  | "t" ->
+      let* v = int () in
+      Ok { acc with t = v }
+  | "bits" ->
+      let* v = int () in
+      Ok { acc with bits = v }
+  | "aa_rounds" ->
+      let* v = int () in
+      Ok { acc with aa_rounds = v }
+  | "seed" ->
+      let* v = int () in
+      Ok { acc with seed = v }
+  | "protocol" ->
+      let* v = str () in
+      Ok { acc with protocol = v }
+  | "workload" ->
+      let* v = str () in
+      Ok { acc with workload = v }
+  | "adversary" ->
+      let* v = str () in
+      Ok { acc with adversary = v }
+  | "attack" ->
+      let* v = str () in
+      Ok { acc with attack = v }
+  | other -> Error (Printf.sprintf "line %d: unknown key %S" line other)
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go acc seen line_no = function
+    | [] -> Ok acc
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go acc seen (line_no + 1) rest
+        else begin
+          match String.index_opt trimmed '=' with
+          | None -> Error (Printf.sprintf "line %d: expected key = value" line_no)
+          | Some i ->
+              let key = String.trim (String.sub trimmed 0 i) in
+              let value = String.sub trimmed (i + 1) (String.length trimmed - i - 1) in
+              if List.mem key seen then
+                Error (Printf.sprintf "line %d: duplicate key %S" line_no key)
+              else
+                let* acc = apply acc ~line:line_no ~key ~value in
+                go acc (key :: seen) (line_no + 1) rest
+        end
+  in
+  let* scn = go default [] 1 lines in
+  if scn.n < 1 then Error "n must be >= 1"
+  else if scn.t < 0 then Error "t must be >= 0"
+  else if scn.bits < 1 then Error "bits must be >= 1"
+  else Ok scn
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+let to_string s =
+  String.concat "\n"
+    [
+      "# convex-agreement scenario";
+      Printf.sprintf "n = %d" s.n;
+      Printf.sprintf "t = %d" s.t;
+      Printf.sprintf "protocol = %s" s.protocol;
+      Printf.sprintf "workload = %s" s.workload;
+      Printf.sprintf "adversary = %s" s.adversary;
+      Printf.sprintf "attack = %s" s.attack;
+      Printf.sprintf "bits = %d" s.bits;
+      Printf.sprintf "aa_rounds = %d" s.aa_rounds;
+      Printf.sprintf "seed = %d" s.seed;
+      "";
+    ]

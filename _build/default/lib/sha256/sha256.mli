@@ -1,0 +1,27 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch — the paper's
+    collision-resistant hash function [H_κ] with security parameter κ = 256.
+
+    The toolchain ships no cryptography package; this pure-OCaml
+    implementation is validated against the NIST test vectors in the test
+    suite. It is used for Merkle-tree accumulators (Section 7) and nowhere
+    needs to be fast — protocol messages are small. *)
+
+val digest_size : int
+(** 32 bytes (κ / 8). *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte (binary) SHA-256 digest of [msg]. *)
+
+val hex : string -> string
+(** [hex msg] is the lowercase hex rendering of [digest msg]. *)
+
+val to_hex : string -> string
+(** Hex-encodes an already-computed binary digest (or any string). *)
+
+type ctx
+(** Streaming interface. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> string
+(** May be called once; the context must not be reused afterwards. *)

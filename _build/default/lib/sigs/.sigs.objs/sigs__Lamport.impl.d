@@ -1,0 +1,1 @@
+lib/sigs/lamport.ml: Array Buffer Char Net Sha256 String

@@ -1,0 +1,1 @@
+lib/sigs/lamport.mli: Net

@@ -1,0 +1,1 @@
+lib/sigs/xmss.ml: Array Lamport Merkle Wire

@@ -1,0 +1,1 @@
+lib/sigs/xmss.mli: Net

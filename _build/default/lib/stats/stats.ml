@@ -1,0 +1,85 @@
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+  sqrt var
+
+let pearson xs ys =
+  if List.length xs <> List.length ys then invalid_arg "Stats.pearson: lengths";
+  if List.length xs < 2 then invalid_arg "Stats.pearson: need two points";
+  let mx = mean xs and my = mean ys in
+  let num =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0. xs ys
+  in
+  let dx = sqrt (List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.)) 0. xs) in
+  let dy = sqrt (List.fold_left (fun acc y -> acc +. ((y -. my) ** 2.)) 0. ys) in
+  if dx = 0. || dy = 0. then 0. else num /. (dx *. dy)
+
+type fit = { coefficients : float array; r_square : float }
+
+(* Gaussian elimination with partial pivoting on an augmented matrix. *)
+let solve a b =
+  let n = Array.length b in
+  let m = Array.init n (fun i -> Array.append a.(i) [| b.(i) |]) in
+  for col = 0 to n - 1 do
+    (* pivot *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float m.(r).(col) > abs_float m.(!pivot).(col) then pivot := r
+    done;
+    if abs_float m.(!pivot).(col) < 1e-12 then
+      invalid_arg "Stats.least_squares: singular system";
+    let tmp = m.(col) in
+    m.(col) <- m.(!pivot);
+    m.(!pivot) <- tmp;
+    for r = 0 to n - 1 do
+      if r <> col then begin
+        let f = m.(r).(col) /. m.(col).(col) in
+        for c = col to n do
+          m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+        done
+      end
+    done
+  done;
+  Array.init n (fun i -> m.(i).(n) /. m.(i).(i))
+
+let least_squares ~rows ~y =
+  let k =
+    match rows with
+    | [] -> invalid_arg "Stats.least_squares: no rows"
+    | r :: _ -> Array.length r
+  in
+  if List.length rows <> List.length y then invalid_arg "Stats.least_squares: shapes";
+  if List.exists (fun r -> Array.length r <> k) rows then
+    invalid_arg "Stats.least_squares: ragged rows";
+  (* Normal equations: (XᵀX) β = Xᵀy. *)
+  let xtx = Array.make_matrix k k 0. in
+  let xty = Array.make k 0. in
+  List.iter2
+    (fun row yi ->
+      for i = 0 to k - 1 do
+        xty.(i) <- xty.(i) +. (row.(i) *. yi);
+        for j = 0 to k - 1 do
+          xtx.(i).(j) <- xtx.(i).(j) +. (row.(i) *. row.(j))
+        done
+      done)
+    rows y;
+  let coefficients = solve xtx xty in
+  let predict row =
+    let acc = ref 0. in
+    Array.iteri (fun i c -> acc := !acc +. (c *. row.(i))) coefficients;
+    !acc
+  in
+  let ybar = mean y in
+  let ss_tot = List.fold_left (fun acc yi -> acc +. ((yi -. ybar) ** 2.)) 0. y in
+  let ss_res =
+    List.fold_left2 (fun acc row yi -> acc +. ((yi -. predict row) ** 2.)) 0. rows y
+  in
+  let r_square = if ss_tot = 0. then 1. else 1. -. (ss_res /. ss_tot) in
+  { coefficients; r_square }
+
+let log2 x = log x /. log 2.

@@ -1,0 +1,28 @@
+(** Small numerical toolbox for the empirical claim checks: summary
+    statistics and least-squares regression (via normal equations) for the
+    few-predictor models used to fit measured communication against the
+    paper's complexity expressions. *)
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on an empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for singletons. *)
+
+val pearson : float list -> float list -> float
+(** Correlation coefficient. Raises [Invalid_argument] on length mismatch or
+    fewer than two points; returns 0 when either series is constant. *)
+
+type fit = {
+  coefficients : float array;  (** one per predictor column *)
+  r_square : float;  (** goodness of fit against the observations *)
+}
+
+val least_squares : rows:float array list -> y:float list -> fit
+(** [least_squares ~rows ~y] solves min ‖Xβ − y‖² where each element of
+    [rows] is one observation's predictor vector. Solved by Gaussian
+    elimination on the normal equations (the models here have ≤ 3 well-
+    conditioned predictors). Raises [Invalid_argument] on shape mismatch or
+    a singular system. *)
+
+val log2 : float -> float

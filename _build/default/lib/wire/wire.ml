@@ -1,0 +1,141 @@
+type writer = Buffer.t -> unit
+
+let encode w =
+  let buf = Buffer.create 64 in
+  w buf;
+  Buffer.contents buf
+
+let w_u8 v buf =
+  if v < 0 || v > 0xff then invalid_arg "Wire.w_u8";
+  Buffer.add_char buf (Char.chr v)
+
+let w_u16 v buf =
+  if v < 0 || v > 0xffff then invalid_arg "Wire.w_u16";
+  Buffer.add_char buf (Char.chr (v lsr 8));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let w_varint v buf =
+  if v < 0 then invalid_arg "Wire.w_varint";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char buf (Char.chr v)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let w_bool b buf = Buffer.add_char buf (if b then '\001' else '\000')
+
+let w_fixed s buf = Buffer.add_string buf s
+
+let w_bytes s buf =
+  w_varint (String.length s) buf;
+  Buffer.add_string buf s
+
+let w_option w = function
+  | None -> fun buf -> Buffer.add_char buf '\000'
+  | Some v ->
+      fun buf ->
+        Buffer.add_char buf '\001';
+        w v buf
+
+let w_list w items buf =
+  w_varint (List.length items) buf;
+  List.iter (fun item -> w item buf) items
+
+let w_pair wa wb (a, b) buf =
+  wa a buf;
+  wb b buf
+
+let w_bits bits buf =
+  w_varint (Bitstring.length bits) buf;
+  Buffer.add_string buf (Bitstring.to_bytes bits)
+
+let seq ws buf = List.iter (fun w -> w buf) ws
+
+(* Decoding ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+type 'a reader = cursor -> 'a option
+
+let ( let* ) = Option.bind
+
+let decode_full r s =
+  let cur = { src = s; pos = 0 } in
+  let* v = r cur in
+  if cur.pos = String.length s then Some v else None
+
+let take cur n =
+  if n < 0 || cur.pos + n > String.length cur.src then None
+  else begin
+    let s = String.sub cur.src cur.pos n in
+    cur.pos <- cur.pos + n;
+    Some s
+  end
+
+let r_u8 cur =
+  let* s = take cur 1 in
+  Some (Char.code s.[0])
+
+let r_u16 cur =
+  let* s = take cur 2 in
+  Some ((Char.code s.[0] lsl 8) lor Char.code s.[1])
+
+let r_varint cur =
+  let rec go acc shift count =
+    if count > 9 then None
+    else
+      let* b = r_u8 cur in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if acc < 0 then None
+      else if b land 0x80 = 0 then Some acc
+      else go acc (shift + 7) (count + 1)
+  in
+  go 0 0 0
+
+let r_bool cur =
+  let* b = r_u8 cur in
+  match b with 0 -> Some false | 1 -> Some true | _ -> None
+
+let default_max_bytes = 16 * 1024 * 1024
+
+let r_bytes ?(max = default_max_bytes) () cur =
+  let* len = r_varint cur in
+  if len > max then None else take cur len
+
+let r_fixed n cur = take cur n
+
+let r_option r cur =
+  let* tag = r_u8 cur in
+  match tag with
+  | 0 -> Some None
+  | 1 ->
+      let* v = r cur in
+      Some (Some v)
+  | _ -> None
+
+let r_list ?(max = 65536) r cur =
+  let* count = r_varint cur in
+  if count > max then None
+  else
+    let rec go acc i =
+      if i = count then Some (List.rev acc)
+      else
+        let* v = r cur in
+        go (v :: acc) (i + 1)
+    in
+    go [] 0
+
+let r_pair ra rb cur =
+  let* a = ra cur in
+  let* b = rb cur in
+  Some (a, b)
+
+let r_bits ?(max_bits = 8 * default_max_bytes) () cur =
+  let* len = r_varint cur in
+  if len > max_bits then None
+  else
+    let* packed = take cur ((len + 7) / 8) in
+    Bitstring.of_bytes ~len packed

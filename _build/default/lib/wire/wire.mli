@@ -1,0 +1,75 @@
+(** Defensive binary serialization for protocol messages.
+
+    Byzantine parties can put arbitrary bytes on the wire, so every decoder is
+    total: it consumes from a cursor and returns [None] on any malformation
+    (truncation, overlong fields, trailing garbage when using [decode_full]).
+    Honest nodes treat undecodable messages as absent — the protocols in this
+    repository are all designed to tolerate missing messages from corrupted
+    senders.
+
+    Encoders produce compact byte strings whose length is the basis of the
+    communication-complexity accounting (8 bits per byte). *)
+
+(** {1 Encoding} *)
+
+type writer = Buffer.t -> unit
+
+val encode : writer -> string
+
+val w_u8 : int -> writer
+val w_u16 : int -> writer
+(** Big-endian. Raises [Invalid_argument] when out of range. *)
+
+val w_varint : int -> writer
+(** Unsigned LEB128; non-negative ints only. *)
+
+val w_bool : bool -> writer
+val w_bytes : string -> writer
+(** Varint length prefix followed by raw bytes. *)
+
+val w_fixed : string -> writer
+(** Raw bytes, no length prefix (caller knows the size). *)
+
+val w_option : ('a -> writer) -> 'a option -> writer
+val w_list : ('a -> writer) -> 'a list -> writer
+val w_pair : ('a -> writer) -> ('b -> writer) -> 'a * 'b -> writer
+val w_bits : Bitstring.t -> writer
+(** Varint bit-length then packed bits. *)
+
+val seq : writer list -> writer
+
+(** {1 Decoding} *)
+
+type cursor
+
+type 'a reader = cursor -> 'a option
+
+val decode_full : 'a reader -> string -> 'a option
+(** Runs the reader and requires that it consumed the whole input. *)
+
+val r_u8 : int reader
+val r_u16 : int reader
+
+val r_varint : int reader
+(** Rejects encodings longer than 9 bytes (keeps values within [int]). *)
+
+val r_bool : bool reader
+
+val r_bytes : ?max:int -> unit -> string reader
+(** [max] (default 16 MiB) bounds the declared length before any allocation —
+    a byzantine sender must not be able to trigger huge allocations. *)
+
+val r_fixed : int -> string reader
+val r_option : 'a reader -> 'a option reader
+
+val r_list : ?max:int -> 'a reader -> 'a list reader
+(** [max] (default 65536) bounds the element count. *)
+
+val r_pair : 'a reader -> 'b reader -> ('a * 'b) reader
+
+val r_bits : ?max_bits:int -> unit -> Bitstring.t reader
+(** Enforces canonical padding via {!Bitstring.of_bytes}. *)
+
+val ( let* ) : 'a option -> ('a -> 'b option) -> 'b option
+(** Option bind, exposed because hand-written message decoders read better
+    with it. *)

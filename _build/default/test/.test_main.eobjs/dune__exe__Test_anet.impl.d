@@ -1,0 +1,1 @@
+test/test_anet.ml: Alcotest Anet Array Async_aa Async_proto Async_sim Bitstring Bracha Char Hashtbl List Net Printf String

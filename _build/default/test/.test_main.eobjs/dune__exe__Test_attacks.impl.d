@@ -1,0 +1,1 @@
+test/test_attacks.ml: Adversary Alcotest Array Attacks Baplus Bitstring Char Convex Ctx List Net Printf Prng Sha256 Sim String Workload

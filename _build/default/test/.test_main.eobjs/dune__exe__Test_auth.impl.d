@@ -1,0 +1,1 @@
+test/test_auth.ml: Adversary Alcotest Array Auth Bitstring Ctx List Metrics Net Option Printf Sigs Sim String

@@ -1,0 +1,1 @@
+test/test_ba.ml: Adversary Alcotest Array Ba Bool Ctx List Metrics Net Printf Prng QCheck QCheck_alcotest Sim String

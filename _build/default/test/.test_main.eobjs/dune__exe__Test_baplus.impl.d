@@ -1,0 +1,1 @@
+test/test_baplus.ml: Adversary Alcotest Array Baplus Char Ctx Hashtbl List Metrics Net Option Printf Prng QCheck QCheck_alcotest Sim String

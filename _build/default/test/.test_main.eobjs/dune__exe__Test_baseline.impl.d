@@ -1,0 +1,1 @@
+test/test_baseline.ml: Adversary Alcotest Array Ba Baseline Bigint Bitstring Convex Ctx List Metrics Net Printf Prng QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Bitstring List Printf QCheck QCheck_alcotest String

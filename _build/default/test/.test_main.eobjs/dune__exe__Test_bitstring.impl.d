@@ -1,0 +1,1 @@
+test/test_bitstring.ml: Alcotest Bitstring List QCheck QCheck_alcotest

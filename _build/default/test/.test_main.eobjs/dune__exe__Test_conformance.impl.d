@@ -1,0 +1,1 @@
+test/test_conformance.ml: Adversary Alcotest Array Attacks Bigint List Net Printexc Printf Prng Sha256 String Workload

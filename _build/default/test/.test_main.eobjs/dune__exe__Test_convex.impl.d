@@ -1,0 +1,1 @@
+test/test_convex.ml: Adversary Alcotest Array Bigint Bitstring Convex Ctx List Metrics Net Printf Prng QCheck QCheck_alcotest Sim

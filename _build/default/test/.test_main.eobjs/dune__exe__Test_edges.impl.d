@@ -1,0 +1,1 @@
+test/test_edges.ml: Adversary Alcotest Array Bigint Convex Ctx List Net Option Sim String Trace Workload

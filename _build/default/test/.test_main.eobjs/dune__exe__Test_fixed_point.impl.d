@@ -1,0 +1,1 @@
+test/test_fixed_point.ml: Adversary Alcotest Array Bigint Convex Ctx List Net Printf QCheck QCheck_alcotest Sim

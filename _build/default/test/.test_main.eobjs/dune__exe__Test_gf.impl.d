@@ -1,0 +1,1 @@
+test/test_gf.ml: Alcotest Gf65536 QCheck QCheck_alcotest

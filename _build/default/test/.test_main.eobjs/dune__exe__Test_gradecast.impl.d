@@ -1,0 +1,1 @@
+test/test_gradecast.ml: Adversary Alcotest Array Ba Bitstring Ctx List Metrics Net Printf Sim String

@@ -1,0 +1,1 @@
+test/test_lemma_blocks.ml: Adversary Alcotest Array Attacks Bigint Bitstring Convex Ctx Fun List Net Option Printf Sim Workload

@@ -1,0 +1,1 @@
+test/test_median_ba.ml: Adversary Alcotest Array Attacks Bitstring Convex Ctx List Metrics Net Printf Prng QCheck QCheck_alcotest Sim Workload

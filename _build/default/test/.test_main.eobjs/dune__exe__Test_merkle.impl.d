@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Array List Merkle Printf QCheck QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_net.ml: Adversary Alcotest Array Ctx List Metrics Net Printf Prng Proto Sim String

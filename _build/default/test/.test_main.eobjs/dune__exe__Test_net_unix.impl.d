@@ -1,0 +1,1 @@
+test/test_net_unix.ml: Adversary Alcotest Array Ba Bigint Convex Ctx Metrics Net Net_unix Option Printf Proto Sim String

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Adversary Alcotest Array Ba Baseline Bitstring Ctx Fun List Metrics Net Printf Prng Proto QCheck QCheck_alcotest Sim Workload

@@ -1,0 +1,1 @@
+test/test_rank_ba.ml: Adversary Alcotest Array Bitstring Convex Ctx List Net Printf Prng QCheck QCheck_alcotest Sim Workload

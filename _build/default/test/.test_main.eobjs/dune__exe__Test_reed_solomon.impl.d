@@ -1,0 +1,1 @@
+test/test_reed_solomon.ml: Alcotest Array Char Gen List Printf QCheck QCheck_alcotest Reed_solomon String

@@ -1,0 +1,1 @@
+test/test_sha256.ml: Alcotest Char Printf QCheck QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_sigs.ml: Alcotest Bytes Char List Net Printf QCheck QCheck_alcotest Sigs String

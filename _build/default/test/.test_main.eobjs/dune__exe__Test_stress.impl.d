@@ -1,0 +1,1 @@
+test/test_stress.ml: Adversary Alcotest Array Bigint Bitstring Convex Ctx List Net Prng Sim Workload

@@ -1,0 +1,1 @@
+test/test_subprotocols.ml: Adversary Alcotest Array Bigint Bitstring Convex Ctx List Metrics Net Prng Sim Workload

@@ -1,0 +1,1 @@
+test/test_trace.ml: Adversary Alcotest Array Bigint Convex Ctx List Metrics Net Sim String Trace

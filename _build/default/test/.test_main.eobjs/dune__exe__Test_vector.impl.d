@@ -1,0 +1,1 @@
+test/test_vector.ml: Adversary Alcotest Array Bigint Convex Ctx List Net Printf Sim

@@ -1,0 +1,1 @@
+test/test_workload.ml: Adversary Alcotest Array Bigint Bitstring List Net Option Printf Prng String Workload

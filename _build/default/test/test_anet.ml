@@ -1,0 +1,218 @@
+(* Asynchronous substrate: scheduler semantics, Bracha RBC properties, and
+   async approximate agreement (t < n/5) under adversarial scheduling. *)
+
+open Anet
+
+let ( let* ) = Async_proto.( let* )
+
+(* ---------------- scheduler semantics ---------------- *)
+
+(* Every party sends its id to all; finishes after hearing from all n. *)
+let gossip (ctx : Net.Ctx.t) =
+  let n = ctx.Net.Ctx.n in
+  let* () = Async_proto.broadcast ~n (string_of_int ctx.Net.Ctx.me) in
+  let seen = Hashtbl.create 8 in
+  let rec loop () =
+    if Hashtbl.length seen = n then Async_proto.return (Hashtbl.length seen)
+    else
+      let* sender, _ = Async_proto.recv () in
+      Hashtbl.replace seen sender ();
+      loop ()
+  in
+  loop ()
+
+let test_delivery_all_schedulers () =
+  let n = 5 and t = 1 in
+  let corrupt = Array.make n false in
+  List.iter
+    (fun scheduler ->
+      let outcome =
+        Async_sim.run ~n ~t ~corrupt ~scheduler ~seed:7 gossip
+      in
+      List.iter
+        (fun heard ->
+          Alcotest.check Alcotest.int
+            (Printf.sprintf "hears all under %s" scheduler.Async_sim.sched_name)
+            n heard)
+        (Async_sim.honest_outputs ~corrupt outcome);
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "delivered exactly n^2 under %s" scheduler.Async_sim.sched_name)
+        (n * n) outcome.Async_sim.metrics.Async_sim.delivered)
+    (Async_sim.all_schedulers ~corrupt ~target:0)
+
+let test_starvation_detected () =
+  (* A party waiting for a message nobody sends must raise Starvation, not
+     loop forever. *)
+  let waits_forever (_ctx : Net.Ctx.t) =
+    let* _ = Async_proto.recv () in
+    Async_proto.return ()
+  in
+  Alcotest.check_raises "starvation"
+    (Async_sim.Starvation "honest party waiting with no messages in flight")
+    (fun () ->
+      ignore
+        (Async_sim.run ~n:3 ~t:0 ~corrupt:(Array.make 3 false)
+           ~scheduler:Async_sim.fifo waits_forever))
+
+let test_determinism_per_seed () =
+  let n = 4 and t = 1 in
+  let corrupt = Array.make n false in
+  let run seed =
+    let outcome =
+      Async_sim.run ~n ~t ~corrupt ~scheduler:Async_sim.random ~seed gossip
+    in
+    outcome.Async_sim.metrics.Async_sim.delivered
+  in
+  Alcotest.check Alcotest.int "same seed same schedule" (run 5) (run 5)
+
+let test_byzantine_silent_drops_messages () =
+  (* gossip waits for all n senders; a silent corrupt party makes that
+     unreachable, and the simulator must detect it rather than spin. *)
+  let n = 4 and t = 1 in
+  let corrupt = [| true; false; false; false |] in
+  Alcotest.check Alcotest.bool "starves" true
+    (match
+       Async_sim.run ~n ~t ~corrupt ~scheduler:Async_sim.fifo
+         ~byzantine:Async_sim.byz_silent gossip
+     with
+    | _ -> false
+    | exception Async_sim.Starvation _ -> true)
+
+(* ---------------- Bracha RBC ---------------- *)
+
+let run_bracha ?byzantine ~scheduler ~corrupt ~n ~t ~sender v =
+  Async_sim.run ?byzantine ~n ~t ~corrupt ~scheduler ~seed:3 (fun ctx ->
+      Bracha.run ctx ~sender (if ctx.Net.Ctx.me = sender then v else ""))
+
+let test_bracha_validity () =
+  let n = 7 and t = 2 in
+  let corrupt = Array.init n (fun i -> i >= n - t) in
+  List.iter
+    (fun scheduler ->
+      let outcome = run_bracha ~scheduler ~corrupt ~n ~t ~sender:1 "payload-v" in
+      List.iter
+        (fun v ->
+          Alcotest.check Alcotest.string
+            (Printf.sprintf "validity under %s" scheduler.Async_sim.sched_name)
+            "payload-v" v)
+        (Async_sim.honest_outputs ~corrupt outcome))
+    (Async_sim.all_schedulers ~corrupt ~target:2)
+
+let test_bracha_byzantine_sender_equivocation () =
+  (* A corrupt sender equivocates on INIT; honest parties either all deliver
+     the same value or none deliver (starvation) — never disagree. *)
+  let n = 7 and t = 2 in
+  let corrupt = Array.init n (fun i -> i = 0 || i = 3 (* sender corrupt *)) in
+  let mutate m = String.map (fun c -> Char.chr (Char.code c lxor 1)) m in
+  List.iter
+    (fun scheduler ->
+      match
+        run_bracha
+          ~byzantine:(Async_sim.byz_equivocate ~mutate)
+          ~scheduler ~corrupt ~n ~t ~sender:0 "two-faced"
+      with
+      | outcome ->
+          let outputs = Async_sim.honest_outputs ~corrupt outcome in
+          (match outputs with
+          | v :: rest ->
+              Alcotest.check Alcotest.bool
+                (Printf.sprintf "agreement under %s" scheduler.Async_sim.sched_name)
+                true
+                (List.for_all (String.equal v) rest)
+          | [] -> ())
+      | exception (Async_sim.Starvation _ | Failure _) ->
+          (* No delivery at all is a legal outcome for a byzantine sender. *)
+          ())
+    (Async_sim.all_schedulers ~corrupt ~target:1)
+
+let test_bracha_silent_sender_starves () =
+  let n = 4 and t = 1 in
+  let corrupt = [| true; false; false; false |] in
+  Alcotest.check Alcotest.bool "no delivery from silent sender" true
+    (match
+       run_bracha ~byzantine:Async_sim.byz_silent ~scheduler:Async_sim.fifo ~corrupt
+         ~n ~t ~sender:0 "never-sent"
+     with
+    | _ -> false
+    | exception Async_sim.Starvation _ -> true)
+
+let test_bracha_garbage_byzantine () =
+  let n = 7 and t = 2 in
+  let corrupt = Array.init n (fun i -> i >= n - t) in
+  let outcome =
+    run_bracha ~byzantine:(Async_sim.byz_garbage ~seed:5) ~scheduler:Async_sim.random
+      ~corrupt ~n ~t ~sender:2 "clean-value"
+  in
+  List.iter
+    (fun v -> Alcotest.check Alcotest.string "garbage ignored" "clean-value" v)
+    (Async_sim.honest_outputs ~corrupt outcome)
+
+(* ---------------- async approximate agreement ---------------- *)
+
+let test_async_aa () =
+  let n = 6 and t = 1 and bits = 20 in
+  (* t < n/5 requires n >= 6 for t = 1. *)
+  let corrupt = Array.init n (fun i -> i = 2) in
+  let inputs =
+    Array.init n (fun i ->
+        if corrupt.(i) then Bitstring.ones bits
+        else Bitstring.of_int_fixed ~bits (500_000 + (i * 4_000)))
+  in
+  List.iter
+    (fun scheduler ->
+      List.iter
+        (fun byzantine ->
+          let outcome =
+            Async_sim.run ~n ~t ~corrupt ~scheduler ~seed:11 ~byzantine (fun ctx ->
+                Async_aa.run ctx ~bits ~rounds:10 inputs.(ctx.Net.Ctx.me))
+          in
+          let outs =
+            List.map Bitstring.to_int (Async_sim.honest_outputs ~corrupt outcome)
+          in
+          let lo = List.fold_left min (List.hd outs) outs in
+          let hi = List.fold_left max (List.hd outs) outs in
+          let name =
+            Printf.sprintf "%s/%s" scheduler.Async_sim.sched_name
+              byzantine.Async_sim.byz_name
+          in
+          Alcotest.check Alcotest.bool (name ^ ": validity") true
+            (lo >= 500_000 && hi <= 500_000 + ((n - 1) * 4_000));
+          Alcotest.check Alcotest.bool (name ^ ": epsilon agreement") true
+            (hi - lo <= (((n - 1) * 4_000) / 256) + 1))
+        [ Async_sim.byz_passive; Async_sim.byz_silent; Async_sim.byz_garbage ~seed:3 ])
+    (Async_sim.all_schedulers ~corrupt ~target:4)
+
+let test_async_aa_resilience_check () =
+  Alcotest.check_raises "t >= n/5 rejected"
+    (Invalid_argument "Async_aa.run: requires t < n/5") (fun () ->
+      ignore (Async_aa.run (Net.Ctx.make ~n:5 ~t:1 ~me:0) ~bits:8 ~rounds:1 (Bitstring.zero 8)))
+
+let test_async_aa_zero_rounds () =
+  let n = 6 and t = 1 and bits = 8 in
+  let corrupt = Array.make n false in
+  let inputs = Array.init n (fun i -> Bitstring.of_int_fixed ~bits (i * 10)) in
+  let outcome =
+    Async_sim.run ~n ~t ~corrupt ~scheduler:Async_sim.fifo (fun ctx ->
+        Async_aa.run ctx ~bits ~rounds:0 inputs.(ctx.Net.Ctx.me))
+  in
+  Array.iteri
+    (fun i o ->
+      Alcotest.check
+        (Alcotest.option (Alcotest.testable Bitstring.pp Bitstring.equal))
+        "identity" (Some inputs.(i)) o)
+    outcome.Async_sim.outputs
+
+let suite =
+  [
+    Alcotest.test_case "delivery under all schedulers" `Quick test_delivery_all_schedulers;
+    Alcotest.test_case "starvation detected" `Quick test_starvation_detected;
+    Alcotest.test_case "silent byzantine starves gossip" `Quick test_byzantine_silent_drops_messages;
+    Alcotest.test_case "determinism per seed" `Quick test_determinism_per_seed;
+    Alcotest.test_case "bracha validity" `Quick test_bracha_validity;
+    Alcotest.test_case "bracha equivocating sender" `Quick test_bracha_byzantine_sender_equivocation;
+    Alcotest.test_case "bracha silent sender" `Quick test_bracha_silent_sender_starves;
+    Alcotest.test_case "bracha garbage" `Quick test_bracha_garbage_byzantine;
+    Alcotest.test_case "async AA" `Slow test_async_aa;
+    Alcotest.test_case "async AA resilience check" `Quick test_async_aa_resilience_check;
+    Alcotest.test_case "async AA zero rounds" `Quick test_async_aa_zero_rounds;
+  ]

@@ -1,0 +1,170 @@
+(* Protocol-aware attacks: each targets a specific proof obligation; with
+   t < n/3 corruptions none may break the corresponding property. *)
+
+open Net
+
+let payload = Sha256.digest "fabricated-by-the-adversary"
+let all_attacks = Attacks.all ~seed:31337 ~payload
+
+let test_ba_plus_vs_vote_stuffer () =
+  (* Intrusion Tolerance under direct vote stuffing. *)
+  let n = 7 and t = 2 in
+  let corrupt = Sim.corrupt_first ~n t in
+  let inputs = Array.init n (fun i -> Sha256.digest (Printf.sprintf "input-%d" i)) in
+  let outcome =
+    Sim.run ~n ~t ~corrupt ~adversary:(Attacks.vote_stuffer ~payload) (fun ctx ->
+        Baplus.Ba_plus.run ctx inputs.(ctx.Ctx.me))
+  in
+  List.iter
+    (fun out ->
+      match out with
+      | None -> ()
+      | Some v ->
+          Alcotest.check Alcotest.bool "never the fabricated value" false
+            (String.equal v payload);
+          Alcotest.check Alcotest.bool "some honest input" true
+            (Array.exists (String.equal v) inputs))
+    (Sim.honest_outputs ~corrupt outcome)
+
+let test_ext_vs_forgery () =
+  (* Lemma 6: forged or relabeled tuples must be discarded; the honest value
+     still reconstructs. *)
+  let n = 7 and t = 2 in
+  let corrupt = Array.init n (fun i -> i = 2 || i = 5) in
+  let value = String.init 3000 (fun i -> Char.chr (i * 13 land 0xff)) in
+  let inputs = Array.make n value in
+  List.iter
+    (fun adversary ->
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Baplus.Ext_ba_plus.run ctx inputs.(ctx.Ctx.me))
+      in
+      List.iter
+        (fun out ->
+          Alcotest.check
+            (Alcotest.option Alcotest.string)
+            (Printf.sprintf "reconstruction survives %s" adversary.Adversary.name)
+            (Some value) out)
+        (Sim.honest_outputs ~corrupt outcome))
+    [ Attacks.tuple_forger ~seed:7; Attacks.index_confuser ]
+
+let test_find_prefix_vs_fabricated_windows () =
+  (* Property (C): the agreed prefix always prefixes a valid (honest-range)
+     value even when byzantine parties push well-formed alien windows. *)
+  let n = 7 and t = 2 and bits = 24 in
+  let corrupt = Array.init n (fun i -> i = 0 || i = 6) in
+  let inputs = Array.init n (fun i -> Bitstring.of_int_fixed ~bits (4_000_000 + (i * 17))) in
+  List.iter
+    (fun adversary ->
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Convex.Find_prefix.run ctx ~bits inputs.(ctx.Ctx.me))
+      in
+      let results = Sim.honest_outputs ~corrupt outcome in
+      let honest_inputs =
+        List.filteri (fun i _ -> not corrupt.(i)) (Array.to_list inputs)
+      in
+      let sorted = List.sort Bitstring.compare honest_inputs in
+      let lo = List.hd sorted and hi = List.nth sorted (List.length sorted - 1) in
+      List.iter
+        (fun r ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "v valid vs %s" adversary.Adversary.name)
+            true
+            (Bitstring.compare lo r.Convex.Find_prefix.v <= 0
+            && Bitstring.compare r.Convex.Find_prefix.v hi <= 0);
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "prefix of v vs %s" adversary.Adversary.name)
+            true
+            (Bitstring.is_prefix ~prefix:r.Convex.Find_prefix.prefix_star
+               r.Convex.Find_prefix.v))
+        results)
+    [ Attacks.window_fabricator; Attacks.prefix_saboteur ]
+
+let test_pi_z_vs_all_attacks () =
+  let n = 10 and t = 3 in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  List.iter
+    (fun adversary ->
+      List.iter
+        (fun (wname, inputs) ->
+          let report =
+            Workload.run_int ~n ~t ~corrupt ~adversary ~inputs
+              Workload.pi_z.Workload.run
+          in
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "Pi_Z agreement: %s vs %s" wname adversary.Adversary.name)
+            true report.Workload.agreement;
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "Pi_Z validity: %s vs %s" wname adversary.Adversary.name)
+            true report.Workload.convex_validity)
+        [
+          ( "sensors",
+            Workload.apply_input_attack Workload.Outlier_high ~corrupt
+              (Workload.sensor_readings (Prng.create 5) ~n ~base:(-1004) ~jitter:2) );
+          ( "long values",
+            Workload.clustered_bits (Prng.create 6) ~n ~bits:600
+              ~shared_prefix_bits:300 );
+        ])
+    all_attacks
+
+let test_high_cost_vs_attacks () =
+  let n = 7 and t = 2 and bits = 16 in
+  let corrupt = Sim.corrupt_first ~n t in
+  let inputs = Array.init n (fun i -> Bitstring.of_int_fixed ~bits (30000 + (i * 7))) in
+  List.iter
+    (fun adversary ->
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Convex.agree_high_cost ctx ~bits inputs.(ctx.Ctx.me))
+      in
+      let outputs = Sim.honest_outputs ~corrupt outcome in
+      let honest_inputs =
+        List.filteri (fun i _ -> not corrupt.(i)) (Array.to_list inputs)
+      in
+      let sorted = List.sort Bitstring.compare honest_inputs in
+      let lo = List.hd sorted and hi = List.nth sorted (List.length sorted - 1) in
+      (match outputs with
+      | o :: rest ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "agreement vs %s" adversary.Adversary.name)
+            true
+            (List.for_all (Bitstring.equal o) rest)
+      | [] -> Alcotest.fail "no outputs");
+      List.iter
+        (fun o ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "validity vs %s" adversary.Adversary.name)
+            true
+            (Bitstring.compare lo o <= 0 && Bitstring.compare o hi <= 0))
+        outputs)
+    all_attacks
+
+let test_saboteur_cost_bounded () =
+  (* The paper's Section 1 point: in prior protocols the communication is
+     adversarially chosen. Here the ⊥ path skips the distribution step, so a
+     saboteur can only shrink the value-dependent traffic, and the κ-term is
+     adversary-independent. Assert the saboteur cannot inflate honest bits by
+     more than 2x over passive. *)
+  let n = 7 and t = 2 in
+  let corrupt = Sim.corrupt_first ~n t in
+  let inputs = Workload.clustered_bits (Prng.create 9) ~n ~bits:2048 ~shared_prefix_bits:1024 in
+  let bits_with adversary =
+    (Workload.run_int ~n ~t ~corrupt ~adversary ~inputs Workload.pi_z.Workload.run)
+      .Workload.honest_bits
+  in
+  let passive = bits_with Adversary.passive in
+  let sabotaged = bits_with Attacks.prefix_saboteur in
+  Alcotest.check Alcotest.bool "saboteur cannot inflate honest traffic" true
+    (float_of_int sabotaged <= 2.0 *. float_of_int passive)
+
+let suite =
+  [
+    Alcotest.test_case "BA+ vs vote stuffing" `Quick test_ba_plus_vs_vote_stuffer;
+    Alcotest.test_case "lBA+ vs tuple forgery" `Quick test_ext_vs_forgery;
+    Alcotest.test_case "FindPrefix vs fabricated windows" `Quick
+      test_find_prefix_vs_fabricated_windows;
+    Alcotest.test_case "Pi_Z vs all attacks" `Slow test_pi_z_vs_all_attacks;
+    Alcotest.test_case "HighCostCA vs all attacks" `Quick test_high_cost_vs_attacks;
+    Alcotest.test_case "saboteur cost bounded" `Quick test_saboteur_cost_bounded;
+  ]

@@ -1,0 +1,217 @@
+(* Π_BA (phase-king), Broadcast and Turpin–Coan: the Definition 2 properties
+   under every generic adversary strategy. *)
+
+open Net
+
+let run_ba ?(t = 1) ~n ~corrupt ~adversary inputs =
+  Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+      Ba.Phase_king.run_bytes ctx inputs.(ctx.Ctx.me))
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (String.equal x) rest
+
+let adversaries = Adversary.all_generic ~seed:1234
+
+let test_validity_all_honest () =
+  let n = 4 in
+  let inputs = Array.make n "val" in
+  let corrupt = Array.make n false in
+  let outcome = run_ba ~n ~corrupt ~adversary:Adversary.passive inputs in
+  List.iter
+    (fun o -> Alcotest.check Alcotest.string "output = common input" "val" o)
+    (Sim.honest_outputs ~corrupt outcome);
+  Alcotest.check Alcotest.int "rounds = 3(t+1)" 6 outcome.Sim.metrics.Metrics.rounds
+
+let test_validity_under_every_adversary () =
+  let n = 7 and t = 2 in
+  let inputs = Array.init n (fun i -> if i < t then "evil" else "honest-common") in
+  let corrupt = Sim.corrupt_first ~n t in
+  List.iter
+    (fun adversary ->
+      let outcome = run_ba ~t ~n ~corrupt ~adversary inputs in
+      List.iter
+        (fun o ->
+          Alcotest.check Alcotest.string
+            (Printf.sprintf "validity vs %s" adversary.Adversary.name)
+            "honest-common" o)
+        (Sim.honest_outputs ~corrupt outcome))
+    adversaries
+
+let test_agreement_split_inputs () =
+  let n = 7 and t = 2 in
+  let corrupt = Sim.corrupt_first ~n t in
+  List.iter
+    (fun adversary ->
+      let inputs = Array.init n (fun i -> Printf.sprintf "v%d" (i mod 3)) in
+      let outcome = run_ba ~t ~n ~corrupt ~adversary inputs in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "agreement vs %s" adversary.Adversary.name)
+        true
+        (all_equal (Sim.honest_outputs ~corrupt outcome)))
+    adversaries
+
+let test_binary_output_is_honest_input () =
+  (* Over {0,1}: whenever honest inputs are unanimous the output matches; when
+     split, the output is one of the two — always an honest input. *)
+  let n = 4 and t = 1 in
+  let corrupt = [| false; false; false; true |] in
+  List.iter
+    (fun adversary ->
+      List.iter
+        (fun pattern ->
+          let inputs = Array.of_list (pattern @ [ true ]) in
+          let outcome =
+            Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+                Ba.Phase_king.run_bit ctx inputs.(ctx.Ctx.me))
+          in
+          let honest = Sim.honest_outputs ~corrupt outcome in
+          (match honest with
+          | o :: _ ->
+              Alcotest.check Alcotest.bool
+                (Printf.sprintf "output held by an honest party (%s)" adversary.Adversary.name)
+                true
+                (List.exists (fun i -> Bool.equal i o) pattern)
+          | [] -> Alcotest.fail "no honest outputs");
+          Alcotest.check Alcotest.bool "binary agreement" true
+            (match honest with [] -> false | x :: r -> List.for_all (Bool.equal x) r))
+        [
+          [ false; false; false ];
+          [ true; true; true ];
+          [ false; true; false ];
+          [ true; false; true ];
+        ])
+    adversaries
+
+let test_option_domain () =
+  let n = 4 and t = 1 in
+  let corrupt = [| true; false; false; false |] in
+  let inputs = [| Some "x"; None; None; None |] in
+  let outcome =
+    Sim.run ~n ~t ~corrupt ~adversary:(Adversary.garbage ~seed:5) (fun ctx ->
+        Ba.Phase_king.run_option ctx inputs.(ctx.Ctx.me))
+  in
+  List.iter
+    (fun o ->
+      Alcotest.check (Alcotest.option Alcotest.string) "bot is a first-class value" None o)
+    (Sim.honest_outputs ~corrupt outcome)
+
+let test_t_zero () =
+  let n = 3 and t = 0 in
+  let corrupt = Array.make n false in
+  let inputs = [| "a"; "b"; "a" |] in
+  let outcome = run_ba ~t ~n ~corrupt ~adversary:Adversary.passive inputs in
+  Alcotest.check Alcotest.bool "agree with t=0" true
+    (all_equal (Sim.honest_outputs ~corrupt outcome))
+
+let test_broadcast () =
+  let n = 7 and t = 2 in
+  let corrupt = Array.init n (fun i -> i >= n - t) in
+  List.iter
+    (fun adversary ->
+      (* Honest sender: all honest parties output the sender's value. *)
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Ba.Broadcast.run_bytes ctx ~sender:1
+              (if ctx.Ctx.me = 1 then "payload" else ""))
+      in
+      List.iter
+        (fun o ->
+          Alcotest.check Alcotest.string
+            (Printf.sprintf "BC validity vs %s" adversary.Adversary.name)
+            "payload" o)
+        (Sim.honest_outputs ~corrupt outcome);
+      (* Byzantine sender: agreement still holds. *)
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Ba.Broadcast.run_bytes ctx ~sender:(n - 1)
+              (if ctx.Ctx.me = n - 1 then "from-byz" else ""))
+      in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "BC agreement vs %s" adversary.Adversary.name)
+        true
+        (all_equal (Sim.honest_outputs ~corrupt outcome)))
+    adversaries
+
+let test_turpin_coan () =
+  let n = 7 and t = 2 in
+  let corrupt = Sim.corrupt_first ~n t in
+  List.iter
+    (fun adversary ->
+      (* Pre-agreement: output the common value. *)
+      let inputs = Array.init n (fun i -> if i < t then "junk" else "long-common-value") in
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Ba.Turpin_coan.run_bytes ctx inputs.(ctx.Ctx.me))
+      in
+      List.iter
+        (fun o ->
+          Alcotest.check Alcotest.string
+            (Printf.sprintf "TC validity vs %s" adversary.Adversary.name)
+            "long-common-value" o)
+        (Sim.honest_outputs ~corrupt outcome);
+      (* Split inputs: agreement on some common value. *)
+      let inputs = Array.init n (fun i -> Printf.sprintf "w%d" i) in
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Ba.Turpin_coan.run_bytes ctx inputs.(ctx.Ctx.me))
+      in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "TC agreement vs %s" adversary.Adversary.name)
+        true
+        (all_equal (Sim.honest_outputs ~corrupt outcome)))
+    adversaries
+
+let test_tc_cheaper_than_ba_for_long_values () =
+  (* The whole point of the extension protocol: for long values TC sends
+     fewer honest bits than running multivalued phase-king directly. *)
+  let n = 7 and t = 2 in
+  let corrupt = Sim.corrupt_first ~n t in
+  let value = String.make 4096 'x' in
+  let inputs = Array.make n value in
+  let tc =
+    Sim.run ~n ~t ~corrupt ~adversary:Adversary.passive (fun ctx ->
+        Ba.Turpin_coan.run_bytes ctx inputs.(ctx.Ctx.me))
+  in
+  let pk = run_ba ~t ~n ~corrupt ~adversary:Adversary.passive inputs in
+  Alcotest.check Alcotest.bool "TC < phase-king on 4KiB values" true
+    (tc.Sim.metrics.Metrics.honest_bits < pk.Sim.metrics.Metrics.honest_bits)
+
+(* Property: random inputs, random corrupt set, random adversary — agreement
+   and binary honest-input validity always hold. *)
+let prop_agreement =
+  QCheck.Test.make ~name:"phase-king agreement (random runs)" ~count:40
+    QCheck.(triple (int_bound 1000) (int_bound 2) (int_bound 8))
+    (fun (seed, t, adv_idx) ->
+      let n = (3 * t) + 1 + (seed mod 3) in
+      let rng = Prng.create seed in
+      let corrupt = Array.make n false in
+      let placed = ref 0 in
+      while !placed < t do
+        let i = Prng.int rng n in
+        if not corrupt.(i) then begin
+          corrupt.(i) <- true;
+          incr placed
+        end
+      done;
+      let inputs = Array.init n (fun _ -> Printf.sprintf "v%d" (Prng.int rng 3)) in
+      let adversary = List.nth adversaries (adv_idx mod List.length adversaries) in
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Ba.Phase_king.run_bytes ctx inputs.(ctx.Ctx.me))
+      in
+      all_equal (Sim.honest_outputs ~corrupt outcome))
+
+let suite =
+  [
+    Alcotest.test_case "validity all honest" `Quick test_validity_all_honest;
+    Alcotest.test_case "validity under adversaries" `Quick test_validity_under_every_adversary;
+    Alcotest.test_case "agreement split inputs" `Quick test_agreement_split_inputs;
+    Alcotest.test_case "binary honest-input property" `Quick test_binary_output_is_honest_input;
+    Alcotest.test_case "option domain" `Quick test_option_domain;
+    Alcotest.test_case "t = 0" `Quick test_t_zero;
+    Alcotest.test_case "broadcast" `Quick test_broadcast;
+    Alcotest.test_case "turpin-coan" `Quick test_turpin_coan;
+    Alcotest.test_case "TC communication advantage" `Quick test_tc_cheaper_than_ba_for_long_values;
+    QCheck_alcotest.to_alcotest prop_agreement;
+  ]

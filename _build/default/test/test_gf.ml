@@ -1,0 +1,46 @@
+(* Field axioms and table sanity for GF(2^16). *)
+
+module F = Gf65536
+
+let arb_elt = QCheck.int_bound 0xffff
+let arb_nonzero = QCheck.map (fun x -> 1 + (x mod 0xffff)) (QCheck.int_bound 100000)
+
+let test_basics () =
+  Alcotest.check Alcotest.int "order" 65536 F.order;
+  Alcotest.check Alcotest.int "add self" 0 (F.add 0x1234 0x1234);
+  Alcotest.check Alcotest.int "mul one" 0xbeef (F.mul 0xbeef F.one);
+  Alcotest.check Alcotest.int "mul zero" 0 (F.mul 0xbeef F.zero);
+  Alcotest.check Alcotest.int "exp 0" 1 (F.exp 0);
+  Alcotest.check Alcotest.int "exp 1 is generator" 2 (F.exp 1);
+  Alcotest.check Alcotest.int "log generator" 1 (F.log 2);
+  Alcotest.check Alcotest.int "full cycle" 1 (F.exp 65535);
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (F.inv 0));
+  Alcotest.check_raises "div by 0" Division_by_zero (fun () -> ignore (F.div 1 0));
+  Alcotest.check_raises "out of range" (Invalid_argument "Gf65536: out of range")
+    (fun () -> ignore (F.add 0x10000 1))
+
+let test_pow () =
+  Alcotest.check Alcotest.int "pow 0 0" 1 (F.pow 0 0);
+  Alcotest.check Alcotest.int "pow 0 5" 0 (F.pow 0 5);
+  Alcotest.check Alcotest.int "pow x 1" 0x1234 (F.pow 0x1234 1);
+  Alcotest.check Alcotest.int "pow via mul" (F.mul 7 (F.mul 7 7)) (F.pow 7 3)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 gen f)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "pow" `Quick test_pow;
+    prop "mul commutative" (QCheck.pair arb_elt arb_elt) (fun (a, b) ->
+        F.mul a b = F.mul b a);
+    prop "mul associative" (QCheck.triple arb_elt arb_elt arb_elt) (fun (a, b, c) ->
+        F.mul a (F.mul b c) = F.mul (F.mul a b) c);
+    prop "distributive" (QCheck.triple arb_elt arb_elt arb_elt) (fun (a, b, c) ->
+        F.mul a (F.add b c) = F.add (F.mul a b) (F.mul a c));
+    prop "inverse" arb_nonzero (fun a -> F.mul a (F.inv a) = F.one);
+    prop "div inverts mul" (QCheck.pair arb_elt arb_nonzero) (fun (a, b) ->
+        F.div (F.mul a b) b = a);
+    prop "exp/log roundtrip" arb_nonzero (fun a -> F.exp (F.log a) = a);
+    prop "add is involution" (QCheck.pair arb_elt arb_elt) (fun (a, b) ->
+        F.add (F.add a b) b = a);
+  ]

@@ -1,0 +1,106 @@
+(* Gradecast: the Feldman–Micali graded-broadcast properties, and the
+   gradecast-based approximate agreement of Ben-Or–Dolev–Hoch [6]. *)
+
+open Net
+
+let adversaries = Adversary.all_generic ~seed:77
+
+let run_gc ~n ~t ~corrupt ~adversary ~sender v =
+  Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+      Ba.Gradecast.run_bytes ctx ~sender (if ctx.Ctx.me = sender then v else ""))
+
+let test_honest_sender_grade2 () =
+  let n = 7 and t = 2 in
+  let corrupt = Array.init n (fun i -> i >= n - t) in
+  List.iter
+    (fun adversary ->
+      let outcome = run_gc ~n ~t ~corrupt ~adversary ~sender:0 "the-value" in
+      List.iter
+        (fun g ->
+          Alcotest.check Alcotest.int
+            (Printf.sprintf "grade 2 vs %s" adversary.Adversary.name)
+            2 g.Ba.Gradecast.grade;
+          Alcotest.check (Alcotest.option Alcotest.string) "value" (Some "the-value")
+            g.Ba.Gradecast.value)
+        (Sim.honest_outputs ~corrupt outcome))
+    adversaries
+
+let test_graded_agreement_byzantine_sender () =
+  (* Byzantine sender: if any honest party grades 2, all honest parties hold
+     that value with grade >= 1; any two honest grade>=1 values coincide. *)
+  let n = 7 and t = 2 in
+  let corrupt = Array.init n (fun i -> i = 3 || i = 5) in
+  List.iter
+    (fun adversary ->
+      let outcome = run_gc ~n ~t ~corrupt ~adversary ~sender:3 "two-faced" in
+      let graded = Sim.honest_outputs ~corrupt outcome in
+      let with_value =
+        List.filter_map
+          (fun g -> if g.Ba.Gradecast.grade >= 1 then g.Ba.Gradecast.value else None)
+          graded
+      in
+      (match with_value with
+      | v :: rest ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "graded agreement vs %s" adversary.Adversary.name)
+            true
+            (List.for_all (String.equal v) rest)
+      | [] -> ());
+      if List.exists (fun g -> g.Ba.Gradecast.grade = 2) graded then
+        Alcotest.check Alcotest.int
+          (Printf.sprintf "grade2 implies all >= 1 vs %s" adversary.Adversary.name)
+          (List.length graded) (List.length with_value))
+    adversaries
+
+let test_silent_sender_grade0 () =
+  let n = 4 and t = 1 in
+  let corrupt = [| true; false; false; false |] in
+  let outcome = run_gc ~n ~t ~corrupt ~adversary:Adversary.silent ~sender:0 "never" in
+  List.iter
+    (fun g ->
+      Alcotest.check Alcotest.int "grade 0" 0 g.Ba.Gradecast.grade;
+      Alcotest.check (Alcotest.option Alcotest.string) "no value" None g.Ba.Gradecast.value)
+    (Sim.honest_outputs ~corrupt outcome)
+
+let test_rounds () =
+  let n = 4 and t = 1 in
+  let corrupt = Array.make n false in
+  let outcome = run_gc ~n ~t ~corrupt ~adversary:Adversary.passive ~sender:2 "x" in
+  Alcotest.check Alcotest.int "three rounds" 3 outcome.Sim.metrics.Metrics.rounds
+
+let test_gradecast_aa () =
+  let n = 7 and t = 2 and bits = 16 in
+  let corrupt = Array.init n (fun i -> i >= n - t) in
+  let inputs =
+    Array.init n (fun i ->
+        if corrupt.(i) then Bitstring.ones bits
+        else Bitstring.of_int_fixed ~bits (30000 + (i * 100)))
+  in
+  List.iter
+    (fun adversary ->
+      let outcome =
+        Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+            Ba.Gradecast.approx_agree ctx ~bits ~rounds:8 inputs.(ctx.Ctx.me))
+      in
+      let outs = List.map Bitstring.to_int (Sim.honest_outputs ~corrupt outcome) in
+      let lo = List.fold_left min (List.hd outs) outs in
+      let hi = List.fold_left max (List.hd outs) outs in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "validity vs %s" adversary.Adversary.name)
+        true
+        (lo >= 30000 && hi <= 30000 + ((n - t - 1) * 100));
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "convergence vs %s" adversary.Adversary.name)
+        true
+        (hi - lo <= max 2 (((n - t - 1) * 100) / 128)))
+    [ Adversary.passive; Adversary.silent; Adversary.equivocate ~seed:9;
+      Adversary.garbage ~seed:10 ]
+
+let suite =
+  [
+    Alcotest.test_case "honest sender grade 2" `Quick test_honest_sender_grade2;
+    Alcotest.test_case "graded agreement" `Quick test_graded_agreement_byzantine_sender;
+    Alcotest.test_case "silent sender grade 0" `Quick test_silent_sender_grade0;
+    Alcotest.test_case "round count" `Quick test_rounds;
+    Alcotest.test_case "gradecast-based AA" `Quick test_gradecast_aa;
+  ]

@@ -1,0 +1,118 @@
+(* Lemma 4 (the blocks version of Lemma 1) invariants for FINDPREFIXBLOCKS,
+   plus the component-label accounting that the T5 ablation relies on. *)
+
+open Net
+
+let bits_t = Alcotest.testable Bitstring.pp Bitstring.equal
+
+let honest_of ~corrupt arr = List.filteri (fun i _ -> not corrupt.(i)) (Array.to_list arr)
+
+let check_lemma4 name ~t ~corrupt ~bits ~block_bits ~inputs results =
+  let honest_inputs = honest_of ~corrupt inputs in
+  let sorted = List.sort Bitstring.compare honest_inputs in
+  let lo = List.hd sorted and hi = List.nth sorted (List.length sorted - 1) in
+  let valid v = Bitstring.compare lo v <= 0 && Bitstring.compare v hi <= 0 in
+  let p_star = (List.hd results).Convex.Find_prefix_blocks.prefix_star in
+  (* Common prefix, a whole number of blocks. *)
+  List.iter
+    (fun r ->
+      Alcotest.check bits_t (name ^ ": common prefix") p_star
+        r.Convex.Find_prefix_blocks.prefix_star)
+    results;
+  Alcotest.check Alcotest.int (name ^ ": block-aligned") 0
+    (Bitstring.length p_star mod block_bits);
+  List.iter
+    (fun r ->
+      Alcotest.check Alcotest.bool (name ^ ": v has prefix") true
+        (Bitstring.is_prefix ~prefix:p_star r.Convex.Find_prefix_blocks.v);
+      Alcotest.check Alcotest.bool (name ^ ": v valid") true
+        (valid r.Convex.Find_prefix_blocks.v);
+      Alcotest.check Alcotest.bool (name ^ ": v_bot valid") true
+        (valid r.Convex.Find_prefix_blocks.v_bot))
+    results;
+  (* Lemma 4 (ii) for the two block extensions GETOUTPUT can face: the agreed
+     prefix extended by the all-zero and all-one block. *)
+  if Bitstring.length p_star < bits then
+    List.iter
+      (fun block ->
+        let candidate = Bitstring.append p_star block in
+        let differing =
+          List.length
+            (List.filter
+               (fun r ->
+                 not
+                   (Bitstring.is_prefix ~prefix:candidate
+                      r.Convex.Find_prefix_blocks.v_bot))
+               results)
+        in
+        Alcotest.check Alcotest.bool (name ^ ": t+1 honest differ") true
+          (differing >= t + 1))
+      [ Bitstring.zero block_bits; Bitstring.ones block_bits ]
+
+let test_lemma4 () =
+  let n = 4 and t = 1 in
+  let n2 = n * n in
+  let block_bits = 8 in
+  let bits = n2 * block_bits in
+  let corrupt = [| false; true; false; false |] in
+  let configs =
+    [
+      ( "clustered",
+        Array.init n (fun i ->
+            Bigint.to_bitstring_fixed ~bits
+              (Bigint.add (Bigint.pow2 100) (Bigint.of_int (i * 3)))) );
+      ("identical", Array.make n (Bigint.to_bitstring_fixed ~bits (Bigint.pow2 77)));
+      ( "spread",
+        Array.init n (fun i ->
+            Bigint.to_bitstring_fixed ~bits
+              (Bigint.mul (Bigint.of_int (i + 1)) (Bigint.pow2 (20 * i)))) );
+    ]
+  in
+  List.iter
+    (fun (cname, inputs) ->
+      List.iter
+        (fun adversary ->
+          let outcome =
+            Sim.run ~n ~t ~corrupt ~adversary (fun ctx ->
+                Convex.Find_prefix_blocks.run ctx ~bits inputs.(ctx.Ctx.me))
+          in
+          check_lemma4
+            (Printf.sprintf "Lemma4[%s] vs %s" cname adversary.Adversary.name)
+            ~t ~corrupt ~bits ~block_bits ~inputs
+            (Sim.honest_outputs ~corrupt outcome))
+        [ Adversary.passive; Adversary.garbage ~seed:3; Attacks.window_fabricator ])
+    configs
+
+let test_label_split_shape () =
+  (* T5's premise: the only l-dependent label is the RS+Merkle distribution;
+     doubling l must leave the k-bit agreement labels (pi_ba_plus) nearly
+     unchanged while ext_distribute grows. *)
+  let n = 7 and t = 2 in
+  let run bits =
+    let corrupt = Workload.spread_corrupt ~n ~t in
+    let inputs =
+      Array.map
+        (fun v -> Bigint.of_bitstring v)
+        (Array.init n (fun i ->
+             Bigint.to_bitstring_fixed ~bits
+               (Bigint.add (Bigint.pow2 (bits - 2)) (Bigint.of_int i))))
+    in
+    let report =
+      Workload.run_int ~n ~t ~corrupt ~adversary:Adversary.passive
+        ~inputs:(Array.map Fun.id inputs) Workload.pi_z.Workload.run
+    in
+    let get label = Option.value ~default:0 (List.assoc_opt label report.Workload.labels) in
+    (get "ext_distribute", get "pi_ba_plus")
+  in
+  let dist1, votes1 = run 4096 in
+  let dist2, votes2 = run 8192 in
+  Alcotest.check Alcotest.bool "distribution grows with l" true
+    (dist2 > dist1 + ((8192 - 4096) / 2));
+  Alcotest.check Alcotest.bool "vote traffic l-independent (within 2x)" true
+    (votes2 < 2 * max votes1 1 + 200_000)
+
+let suite =
+  [
+    Alcotest.test_case "FindPrefixBlocks Lemma 4" `Quick test_lemma4;
+    Alcotest.test_case "label split shape" `Quick test_label_split_shape;
+  ]

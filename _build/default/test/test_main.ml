@@ -1,0 +1,36 @@
+let () =
+  Alcotest.run "convex_agreement"
+    [
+      ("bitstring", Test_bitstring.suite);
+      ("bigint", Test_bigint.suite);
+      ("sha256", Test_sha256.suite);
+      ("merkle", Test_merkle.suite);
+      ("gf65536", Test_gf.suite);
+      ("reed_solomon", Test_reed_solomon.suite);
+      ("wire", Test_wire.suite);
+      ("net", Test_net.suite);
+      ("ba", Test_ba.suite);
+      ("baplus", Test_baplus.suite);
+      ("convex", Test_convex.suite);
+      ("baseline", Test_baseline.suite);
+      ("fixed_point", Test_fixed_point.suite);
+      ("attacks", Test_attacks.suite);
+      ("median_ba", Test_median_ba.suite);
+      ("net_unix", Test_net_unix.suite);
+      ("workload", Test_workload.suite);
+      ("subprotocols", Test_subprotocols.suite);
+      ("anet", Test_anet.suite);
+      ("gradecast", Test_gradecast.suite);
+      ("trace", Test_trace.suite);
+      ("sigs", Test_sigs.suite);
+      ("auth", Test_auth.suite);
+      ("stats", Test_stats.suite);
+      ("conformance", Test_conformance.suite);
+      ("rank_ba", Test_rank_ba.suite);
+      ("stress", Test_stress.suite);
+      ("scenario", Test_scenario.suite);
+      ("lemma_blocks", Test_lemma_blocks.suite);
+      ("vector", Test_vector.suite);
+      ("parallel", Test_parallel.suite);
+      ("edges", Test_edges.suite);
+    ]

@@ -1,0 +1,100 @@
+(* Merkle accumulator: build/witness/verify, tamper resistance, codecs. *)
+
+let values n = Array.init n (fun i -> Printf.sprintf "codeword-%d" i)
+
+let test_roundtrip () =
+  List.iter
+    (fun n ->
+      let vs = values n in
+      let t = Merkle.build vs in
+      Alcotest.check Alcotest.int "leaf count" n (Merkle.leaf_count t);
+      for i = 0 to n - 1 do
+        let w = Merkle.witness t i in
+        Alcotest.check Alcotest.bool
+          (Printf.sprintf "n=%d i=%d verifies" n i)
+          true
+          (Merkle.verify ~root:(Merkle.root t) ~index:i ~value:vs.(i) w)
+      done)
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 16; 33 ]
+
+let test_rejections () =
+  let vs = values 7 in
+  let t = Merkle.build vs in
+  let root = Merkle.root t in
+  let w2 = Merkle.witness t 2 in
+  Alcotest.check Alcotest.bool "wrong value" false
+    (Merkle.verify ~root ~index:2 ~value:"evil" w2);
+  Alcotest.check Alcotest.bool "wrong index" false
+    (Merkle.verify ~root ~index:3 ~value:vs.(2) w2);
+  Alcotest.check Alcotest.bool "negative index" false
+    (Merkle.verify ~root ~index:(-1) ~value:vs.(2) w2);
+  Alcotest.check Alcotest.bool "wrong root" false
+    (Merkle.verify ~root:(Sha256.digest "nope") ~index:2 ~value:vs.(2) w2);
+  Alcotest.check Alcotest.bool "witness for other leaf" false
+    (Merkle.verify ~root ~index:2 ~value:vs.(2) (Merkle.witness t 3));
+  (* Out-of-tree index with a valid-looking path must fail (padding leaves
+     are not provable values). *)
+  Alcotest.check Alcotest.bool "padding leaf not provable" false
+    (Merkle.verify ~root ~index:7 ~value:"" w2);
+  Alcotest.check_raises "witness out of range" (Invalid_argument "Merkle.witness")
+    (fun () -> ignore (Merkle.witness t 7));
+  Alcotest.check_raises "empty build" (Invalid_argument "Merkle.build: empty") (fun () ->
+      ignore (Merkle.build [||]))
+
+let test_distinct_roots () =
+  let r1 = Merkle.root (Merkle.build (values 4)) in
+  let r2 = Merkle.root (Merkle.build (values 5)) in
+  let r3 =
+    let vs = values 4 in
+    vs.(2) <- "tampered";
+    Merkle.root (Merkle.build vs)
+  in
+  Alcotest.check Alcotest.bool "different sizes differ" false (String.equal r1 r2);
+  Alcotest.check Alcotest.bool "different content differs" false (String.equal r1 r3)
+
+let test_leaf_vs_node_domains () =
+  (* A leaf containing the encoding of two digests must not verify as the
+     parent of those digests (domain separation). *)
+  let a = Sha256.digest "a" and b = Sha256.digest "b" in
+  let forged = a ^ b in
+  let t = Merkle.build [| forged; "x" |] in
+  let root = Merkle.root t in
+  Alcotest.check Alcotest.bool "no leaf/node confusion" false
+    (String.equal root (Sha256.digest ("\x01" ^ Sha256.digest ("\x01" ^ a ^ b) ^ Sha256.digest ("\x00x"))))
+
+let test_witness_codec () =
+  let vs = values 9 in
+  let t = Merkle.build vs in
+  let w = Merkle.witness t 5 in
+  (match Merkle.decode_witness (Merkle.encode_witness w) with
+  | None -> Alcotest.fail "decode failed"
+  | Some w' ->
+      Alcotest.check Alcotest.bool "roundtrip verifies" true
+        (Merkle.verify ~root:(Merkle.root t) ~index:5 ~value:vs.(5) w'));
+  Alcotest.check Alcotest.bool "truncated rejected" true
+    (Merkle.decode_witness (String.sub (Merkle.encode_witness w) 0 10) = None);
+  Alcotest.check Alcotest.bool "empty rejected" true (Merkle.decode_witness "" = None);
+  Alcotest.check Alcotest.bool "size accounted" true (Merkle.witness_size_bits w > 0)
+
+let prop_witness_sound =
+  (* A witness never validates a different (index, value) pair. *)
+  QCheck.Test.make ~name:"witness soundness" ~count:200
+    QCheck.(triple (2 -- 20) small_nat small_nat)
+    (fun (n, i, j) ->
+      let i = i mod n and j = j mod n in
+      let vs = values n in
+      let t = Merkle.build vs in
+      let w = Merkle.witness t i in
+      let ok_self = Merkle.verify ~root:(Merkle.root t) ~index:i ~value:vs.(i) w in
+      let cross = Merkle.verify ~root:(Merkle.root t) ~index:j ~value:vs.(j) w in
+      ok_self && (i = j || not cross))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "rejections" `Quick test_rejections;
+    Alcotest.test_case "distinct roots" `Quick test_distinct_roots;
+    Alcotest.test_case "domain separation" `Quick test_leaf_vs_node_domains;
+    Alcotest.test_case "witness codec" `Quick test_witness_codec;
+    QCheck_alcotest.to_alcotest prop_witness_sound;
+  ]

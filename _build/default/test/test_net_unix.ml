@@ -1,0 +1,123 @@
+(* Real-transport backend: the same protocol values produce the same outputs
+   over Unix sockets + threads as in the deterministic simulator. *)
+
+open Net
+
+let bigint_t = Alcotest.testable Bigint.pp Bigint.equal
+
+let test_roll_call () =
+  let ( let* ) = Proto.( let* ) in
+  let protocol (_ctx : Ctx.t) =
+    let* inbox = Proto.broadcast "here" in
+    let heard = ref 0 in
+    Array.iter (fun m -> if m <> None then incr heard) inbox;
+    Proto.return !heard
+  in
+  let outputs, stats = Net_unix.run ~n:5 protocol in
+  Array.iter (fun h -> Alcotest.check Alcotest.int "hears all" 5 h) outputs;
+  Alcotest.check Alcotest.int "rounds" 1 stats.Net_unix.rounds;
+  Alcotest.check Alcotest.int "frames" (5 * 4) stats.Net_unix.frames_sent;
+  Alcotest.check Alcotest.int "bytes" (5 * 4 * 4) stats.Net_unix.bytes_sent
+
+let test_per_recipient_and_silence () =
+  let ( let* ) = Proto.( let* ) in
+  let protocol (ctx : Ctx.t) =
+    (* Round 1: party 0 sends a distinct value to each peer, others silent.
+       Round 2: everybody echoes what they received from 0. *)
+    let* first =
+      Proto.exchange (fun r ->
+          if ctx.Ctx.me = 0 then Some (Printf.sprintf "to-%d" r) else None)
+    in
+    let got = Option.value ~default:"nothing" first.(0) in
+    let* second = Proto.broadcast got in
+    Proto.return (Array.map (Option.value ~default:"-") second)
+  in
+  let outputs, _ = Net_unix.run ~n:3 protocol in
+  Array.iter
+    (fun echoes ->
+      Alcotest.check (Alcotest.array Alcotest.string) "echoes"
+        [| "to-0"; "to-1"; "to-2" |] echoes)
+    outputs
+
+let test_phase_king_over_sockets () =
+  let inputs = [| "alpha"; "beta"; "alpha"; "alpha" |] in
+  let outputs, _ =
+    Net_unix.run ~n:4 (fun ctx -> Ba.Phase_king.run_bytes ctx inputs.(ctx.Ctx.me))
+  in
+  let first = outputs.(0) in
+  Array.iter (fun o -> Alcotest.check Alcotest.string "agreement" first o) outputs;
+  Alcotest.check Alcotest.bool "output is an input" true
+    (Array.exists (String.equal first) inputs)
+
+let test_pi_z_cross_backend_determinism () =
+  (* The same Π_Z instance must yield identical results on both backends. *)
+  let n = 4 and t = 1 in
+  let inputs = [| -1005; -1003; -1004; -1004 |] in
+  let protocol ctx = Convex.agree_int ctx (Bigint.of_int inputs.(ctx.Ctx.me)) in
+  let unix_outputs, stats = Net_unix.run ~n ~t protocol in
+  let sim_outcome =
+    Sim.run ~n ~t ~corrupt:(Array.make n false) ~adversary:Adversary.passive protocol
+  in
+  let sim_outputs =
+    Array.of_list (Sim.honest_outputs ~corrupt:(Array.make n false) sim_outcome)
+  in
+  Alcotest.check (Alcotest.array bigint_t) "same outputs on both backends"
+    sim_outputs unix_outputs;
+  Alcotest.check Alcotest.int "same round count" sim_outcome.Sim.metrics.Metrics.rounds
+    stats.Net_unix.rounds
+
+let test_long_values_over_sockets () =
+  (* Frames above the socket buffer granularity: 20 KB values, exercising
+     the framed reader/writer paths and receiver-thread draining. *)
+  let n = 4 in
+  let big = Bigint.pred (Bigint.pow2 160_000) in
+  let inputs =
+    Array.init n (fun i -> Bigint.sub big (Bigint.of_int i))
+  in
+  let outputs, stats =
+    Net_unix.run ~n (fun ctx -> Convex.agree_nat ctx inputs.(ctx.Ctx.me))
+  in
+  let first = outputs.(0) in
+  Array.iter (fun o -> Alcotest.check bigint_t "agreement" first o) outputs;
+  Alcotest.check Alcotest.bool "in range" true
+    (Bigint.compare (Bigint.sub big (Bigint.of_int (n - 1))) first <= 0
+    && Bigint.compare first big <= 0);
+  Alcotest.check Alcotest.bool "moved real bytes" true (stats.Net_unix.bytes_sent > 100_000)
+
+let test_parallel_over_sockets () =
+  (* The multiplexing combinator must behave identically on the real
+     transport: two phase-king instances side by side. *)
+  let n = 4 in
+  let inputs_a = [| "x"; "y"; "x"; "x" |] in
+  let outputs, _ =
+    Net_unix.run ~n (fun ctx ->
+        Proto.both
+          (Ba.Phase_king.run_bytes ctx inputs_a.(ctx.Ctx.me))
+          (Ba.Phase_king.run_bit ctx (ctx.Ctx.me < 2)))
+  in
+  let first_a, first_b = outputs.(0) in
+  Array.iter
+    (fun (a, b) ->
+      Alcotest.check Alcotest.string "branch A agrees" first_a a;
+      Alcotest.check Alcotest.bool "branch B agrees" first_b b)
+    outputs;
+  Alcotest.check Alcotest.bool "A output is an input" true
+    (Array.exists (String.equal first_a) inputs_a)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "party failure surfaces" (Failure "boom") (fun () ->
+      ignore
+        (Net_unix.run ~n:3 (fun ctx ->
+             if ctx.Ctx.me = 1 then failwith "boom" else Proto.return ())))
+
+let suite =
+  [
+    Alcotest.test_case "roll call" `Quick test_roll_call;
+    Alcotest.test_case "per-recipient + silence" `Quick test_per_recipient_and_silence;
+    Alcotest.test_case "phase-king over sockets" `Quick test_phase_king_over_sockets;
+    Alcotest.test_case "Pi_Z cross-backend determinism" `Quick
+      test_pi_z_cross_backend_determinism;
+    Alcotest.test_case "long values over sockets" `Slow test_long_values_over_sockets;
+    Alcotest.test_case "parallel over sockets" `Quick test_parallel_over_sockets;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+  ]

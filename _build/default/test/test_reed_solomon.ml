@@ -1,0 +1,142 @@
+(* Reed–Solomon: roundtrips over every erasure pattern family the protocol
+   produces, plus defensive decoding. *)
+
+module Rs = Reed_solomon
+
+let msg n = String.init n (fun i -> Char.chr (i * 31 land 0xff))
+
+let decode_exn ~n ~k shares =
+  match Rs.decode ~n ~k shares with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_systematic_roundtrip () =
+  let m = msg 100 in
+  let n = 10 and k = 7 in
+  let cws = Rs.encode ~n ~k m in
+  Alcotest.check Alcotest.int "n codewords" n (Array.length cws);
+  Array.iter
+    (fun cw ->
+      Alcotest.check Alcotest.int "codeword size" (Rs.codeword_bytes ~k ~msg_bytes:100)
+        (String.length cw))
+    cws;
+  (* First k shares (the systematic ones). *)
+  let shares = List.init k (fun i -> (i, cws.(i))) in
+  Alcotest.check Alcotest.string "systematic decode" m (decode_exn ~n ~k shares)
+
+let test_parity_only_roundtrip () =
+  let m = msg 57 in
+  let n = 10 and k = 3 in
+  let cws = Rs.encode ~n ~k m in
+  let shares = [ (9, cws.(9)); (7, cws.(7)); (4, cws.(4)) ] in
+  Alcotest.check Alcotest.string "parity decode" m (decode_exn ~n ~k shares)
+
+let test_all_k_subsets_small () =
+  let m = msg 23 in
+  let n = 6 and k = 4 in
+  let cws = Rs.encode ~n ~k m in
+  (* Every 4-subset of 6 codewords must reconstruct. *)
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      for c = b + 1 to n - 1 do
+        for d = c + 1 to n - 1 do
+          let shares = [ (a, cws.(a)); (b, cws.(b)); (c, cws.(c)); (d, cws.(d)) ] in
+          Alcotest.check Alcotest.string
+            (Printf.sprintf "subset %d%d%d%d" a b c d)
+            m (decode_exn ~n ~k shares)
+        done
+      done
+    done
+  done
+
+let test_edge_sizes () =
+  List.iter
+    (fun len ->
+      let m = msg len in
+      let n = 7 and k = 5 in
+      let cws = Rs.encode ~n ~k m in
+      let shares = List.init k (fun i -> (n - 1 - i, cws.(n - 1 - i))) in
+      Alcotest.check Alcotest.string (Printf.sprintf "len %d" len) m
+        (decode_exn ~n ~k shares))
+    [ 0; 1; 2; 9; 10; 11; 63; 64; 65 ]
+
+let test_k_equals_n () =
+  let m = msg 33 in
+  let cws = Rs.encode ~n:4 ~k:4 m in
+  let shares = List.init 4 (fun i -> (i, cws.(i))) in
+  Alcotest.check Alcotest.string "k = n" m (decode_exn ~n:4 ~k:4 shares)
+
+let test_k_equals_one () =
+  let m = msg 12 in
+  let cws = Rs.encode ~n:5 ~k:1 m in
+  Alcotest.check Alcotest.string "k = 1 replication" m
+    (decode_exn ~n:5 ~k:1 [ (3, cws.(3)) ])
+
+let test_defensive_decode () =
+  let m = msg 40 in
+  let n = 8 and k = 5 in
+  let cws = Rs.encode ~n ~k m in
+  let err = function Error _ -> true | Ok _ -> false in
+  Alcotest.check Alcotest.bool "too few" true
+    (err (Rs.decode ~n ~k [ (0, cws.(0)); (1, cws.(1)) ]));
+  Alcotest.check Alcotest.bool "duplicates don't count" true
+    (err (Rs.decode ~n ~k (List.init k (fun _ -> (0, cws.(0))))));
+  Alcotest.check Alcotest.bool "out-of-range index" true
+    (err
+       (Rs.decode ~n ~k
+          ((n + 3, cws.(0)) :: List.init (k - 1) (fun i -> (i, cws.(i))))));
+  Alcotest.check Alcotest.bool "inconsistent lengths" true
+    (err
+       (Rs.decode ~n ~k
+          ((0, cws.(0) ^ "\000\000") :: List.init (k - 1) (fun i -> (i + 1, cws.(i + 1))))));
+  Alcotest.check Alcotest.bool "odd codeword length" true
+    (err (Rs.decode ~n ~k (List.init k (fun i -> (i, "\000")))));
+  (* Extra shares beyond k are ignored. *)
+  Alcotest.check Alcotest.string "extra shares ok" m
+    (decode_exn ~n ~k (Array.to_list (Array.mapi (fun i c -> (i, c)) cws)))
+
+let test_params_validation () =
+  Alcotest.check_raises "k = 0" (Invalid_argument "Reed_solomon: bad (n, k)") (fun () ->
+      ignore (Rs.encode ~n:4 ~k:0 "x"));
+  Alcotest.check_raises "k > n" (Invalid_argument "Reed_solomon: bad (n, k)") (fun () ->
+      ignore (Rs.encode ~n:4 ~k:5 "x"))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"random (n,k,msg,subset) roundtrip" ~count:150
+    QCheck.(quad (2 -- 20) small_nat (string_of_size Gen.(0 -- 200)) int)
+    (fun (n, k0, m, seed) ->
+      let k = 1 + (k0 mod n) in
+      let cws = Rs.encode ~n ~k m in
+      (* Pseudo-random k-subset from the seed. *)
+      let idx = Array.init n (fun i -> i) in
+      let st = ref (abs seed + 1) in
+      for i = n - 1 downto 1 do
+        st := (!st * 1103515245) + 12345;
+        let j = abs !st mod (i + 1) in
+        let tmp = idx.(i) in
+        idx.(i) <- idx.(j);
+        idx.(j) <- tmp
+      done;
+      let shares = List.init k (fun i -> (idx.(i), cws.(idx.(i)))) in
+      match Rs.decode ~n ~k shares with Ok m' -> String.equal m m' | Error _ -> false)
+
+let prop_codeword_size_linear =
+  QCheck.Test.make ~name:"codeword size is O(len/k)" ~count:100
+    QCheck.(pair (1 -- 30) (int_bound 5000))
+    (fun (k, len) ->
+      let b = Rs.codeword_bytes ~k ~msg_bytes:len in
+      b >= 2 && b * k <= len + 4 + (2 * k))
+
+let suite =
+  [
+    Alcotest.test_case "systematic roundtrip" `Quick test_systematic_roundtrip;
+    Alcotest.test_case "parity-only roundtrip" `Quick test_parity_only_roundtrip;
+    Alcotest.test_case "all k-subsets (n=6,k=4)" `Quick test_all_k_subsets_small;
+    Alcotest.test_case "edge sizes" `Quick test_edge_sizes;
+    Alcotest.test_case "k = n" `Quick test_k_equals_n;
+    Alcotest.test_case "k = 1" `Quick test_k_equals_one;
+    Alcotest.test_case "defensive decode" `Quick test_defensive_decode;
+    Alcotest.test_case "parameter validation" `Quick test_params_validation;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_codeword_size_linear;
+  ]

@@ -1,0 +1,62 @@
+(* Scenario-file parser: overrides, comments, strict error reporting,
+   round-tripping. *)
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected error: %s" e
+let err = function Error e -> e | Ok _ -> Alcotest.fail "expected an error"
+
+let test_defaults_and_overrides () =
+  let s = ok (Scenario.parse "") in
+  Alcotest.check Alcotest.int "default n" 7 s.Scenario.n;
+  Alcotest.check Alcotest.string "default protocol" "pi-z" s.Scenario.protocol;
+  let s = ok (Scenario.parse "n = 10\nt=3\nprotocol =  high-cost-ca  \nseed=42") in
+  Alcotest.check Alcotest.int "n" 10 s.Scenario.n;
+  Alcotest.check Alcotest.int "t" 3 s.Scenario.t;
+  Alcotest.check Alcotest.string "protocol trimmed" "high-cost-ca" s.Scenario.protocol;
+  Alcotest.check Alcotest.int "seed" 42 s.Scenario.seed;
+  Alcotest.check Alcotest.string "untouched" "sensors" s.Scenario.workload
+
+let test_comments_and_blanks () =
+  let s =
+    ok
+      (Scenario.parse
+         "# a comment\n\n   \nn = 4\n# another = ignored\nworkload = clustered\n")
+  in
+  Alcotest.check Alcotest.int "n" 4 s.Scenario.n;
+  Alcotest.check Alcotest.string "workload" "clustered" s.Scenario.workload
+
+let test_errors () =
+  Alcotest.check Alcotest.bool "unknown key named" true
+    (String.length (err (Scenario.parse "frobnicate = 1")) > 0);
+  Alcotest.check Alcotest.string "bad int" "line 1: \" x\" is not an integer"
+    (err (Scenario.parse "n = x"));
+  Alcotest.check Alcotest.string "no equals" "line 2: expected key = value"
+    (err (Scenario.parse "# fine\nnonsense line"));
+  Alcotest.check Alcotest.string "duplicate" "line 2: duplicate key \"n\""
+    (err (Scenario.parse "n = 4\nn = 5"));
+  Alcotest.check Alcotest.string "validated n" "n must be >= 1"
+    (err (Scenario.parse "n = 0"));
+  Alcotest.check Alcotest.string "validated bits" "bits must be >= 1"
+    (err (Scenario.parse "bits = -3"))
+
+let test_roundtrip () =
+  let s =
+    ok
+      (Scenario.parse
+         "n = 13\nt = 4\nprotocol = broadcast-ca\nworkload = timestamps\n\
+          adversary = bitflip\nattack = split-extremes\nbits = 96\naa_rounds = 3\nseed = 77")
+  in
+  let s' = ok (Scenario.parse (Scenario.to_string s)) in
+  Alcotest.check Alcotest.bool "roundtrip" true (s = s')
+
+let test_load_missing_file () =
+  Alcotest.check Alcotest.bool "missing file is an Error" true
+    (match Scenario.load "/nonexistent/path.scn" with Error _ -> true | Ok _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "defaults/overrides" `Quick test_defaults_and_overrides;
+    Alcotest.test_case "comments/blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "missing file" `Quick test_load_missing_file;
+  ]

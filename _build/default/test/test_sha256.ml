@@ -1,0 +1,72 @@
+(* SHA-256 against the FIPS 180-4 / NIST CAVP test vectors. *)
+
+let check_hex msg expected input =
+  Alcotest.check Alcotest.string msg expected (Sha256.hex input)
+
+let test_nist_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" "";
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" "abc";
+  check_hex "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  check_hex "448-bit boundary"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+
+let test_million_a () =
+  check_hex "one million 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (String.make 1_000_000 'a')
+
+let test_streaming () =
+  let whole = Sha256.hex "hello cruel world" in
+  let ctx = Sha256.init () in
+  Sha256.feed ctx "hello ";
+  Sha256.feed ctx "";
+  Sha256.feed ctx "cruel";
+  Sha256.feed ctx " world";
+  Alcotest.check Alcotest.string "chunked = whole" whole (Sha256.to_hex (Sha256.finalize ctx));
+  Alcotest.check_raises "no reuse" (Invalid_argument "Sha256.feed: finalized context")
+    (fun () -> Sha256.feed ctx "x")
+
+let test_lengths_near_padding_boundary () =
+  (* Reference digests for 54..65 byte inputs cross the 55/56 and 64-byte
+     boundaries; check streaming equals one-shot for each. *)
+  for len = 50 to 70 do
+    let s = String.init len (fun i -> Char.chr (i land 0xff)) in
+    let ctx = Sha256.init () in
+    String.iter (fun c -> Sha256.feed ctx (String.make 1 c)) s;
+    Alcotest.check Alcotest.string
+      (Printf.sprintf "len %d" len)
+      (Sha256.hex s)
+      (Sha256.to_hex (Sha256.finalize ctx))
+  done
+
+let prop_digest_size =
+  QCheck.Test.make ~name:"digest is 32 bytes" ~count:100 QCheck.string (fun s ->
+      String.length (Sha256.digest s) = 32)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"deterministic" ~count:100 QCheck.string (fun s ->
+      String.equal (Sha256.digest s) (Sha256.digest s))
+
+let prop_streaming_split =
+  QCheck.Test.make ~name:"arbitrary split = whole" ~count:200
+    QCheck.(pair string small_nat)
+    (fun (s, cut) ->
+      let cut = if String.length s = 0 then 0 else cut mod (String.length s + 1) in
+      let ctx = Sha256.init () in
+      Sha256.feed ctx (String.sub s 0 cut);
+      Sha256.feed ctx (String.sub s cut (String.length s - cut));
+      String.equal (Sha256.finalize ctx) (Sha256.digest s))
+
+let suite =
+  [
+    Alcotest.test_case "NIST vectors" `Quick test_nist_vectors;
+    Alcotest.test_case "million a" `Slow test_million_a;
+    Alcotest.test_case "streaming" `Quick test_streaming;
+    Alcotest.test_case "padding boundaries" `Quick test_lengths_near_padding_boundary;
+    QCheck_alcotest.to_alcotest prop_digest_size;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+    QCheck_alcotest.to_alcotest prop_streaming_split;
+  ]

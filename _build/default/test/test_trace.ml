@@ -1,0 +1,95 @@
+(* Trace recording: event capture fidelity, summaries and CSV export. *)
+
+open Net
+
+let traced_run () =
+  let n = 4 and t = 1 in
+  let corrupt = Sim.corrupt_first ~n 1 in
+  let inputs = Array.init n (fun i -> Bigint.of_int (70 + i)) in
+  let trace = Trace.create () in
+  let outcome =
+    Sim.run ~trace ~n ~t ~corrupt ~adversary:Adversary.passive (fun ctx ->
+        Convex.agree_int ctx inputs.(ctx.Ctx.me))
+  in
+  (n, trace, outcome)
+
+let test_events_match_metrics () =
+  let _n, trace, outcome = traced_run () in
+  let honest_bits =
+    List.fold_left
+      (fun acc e -> if e.Trace.byzantine then acc else acc + (8 * e.Trace.bytes))
+      0 (Trace.events trace)
+  in
+  Alcotest.check Alcotest.int "honest bits match metrics"
+    outcome.Sim.metrics.Metrics.honest_bits honest_bits;
+  let msgs =
+    List.length (List.filter (fun e -> not e.Trace.byzantine) (Trace.events trace))
+  in
+  Alcotest.check Alcotest.int "message count matches" outcome.Sim.metrics.Metrics.honest_msgs
+    msgs;
+  Alcotest.check Alcotest.int "length consistent" (List.length (Trace.events trace))
+    (Trace.length trace)
+
+let test_event_shape () =
+  let n, trace, outcome = traced_run () in
+  List.iter
+    (fun e ->
+      Alcotest.check Alcotest.bool "round in range" true
+        (e.Trace.round >= 1 && e.Trace.round <= outcome.Sim.metrics.Metrics.rounds);
+      Alcotest.check Alcotest.bool "endpoints in range" true
+        (e.Trace.src >= 0 && e.Trace.src < n && e.Trace.dst >= 0 && e.Trace.dst < n);
+      Alcotest.check Alcotest.bool "no self messages" true (e.Trace.src <> e.Trace.dst);
+      Alcotest.check Alcotest.bool "byz flag correct" true
+        (e.Trace.byzantine = (e.Trace.src = 0)))
+    (Trace.events trace)
+
+let test_summaries () =
+  let n, trace, outcome = traced_run () in
+  let per_round = Trace.bits_per_round trace in
+  let total = List.fold_left (fun acc (_, b) -> acc + b) 0 per_round in
+  Alcotest.check Alcotest.int "per-round sums to total"
+    outcome.Sim.metrics.Metrics.honest_bits total;
+  Alcotest.check Alcotest.bool "rounds ascending" true
+    (let rec asc = function
+       | (a, _) :: ((b, _) :: _ as rest) -> a < b && asc rest
+       | _ -> true
+     in
+     asc per_round);
+  let matrix = Trace.sent_matrix trace ~n in
+  let matrix_total = Array.fold_left (fun acc row -> acc + Array.fold_left ( + ) 0 row) 0 matrix in
+  let event_total =
+    List.fold_left (fun acc e -> acc + e.Trace.bytes) 0 (Trace.events trace)
+  in
+  Alcotest.check Alcotest.int "matrix accounts all bytes" event_total matrix_total;
+  Alcotest.check Alcotest.bool "hottest rounds bounded" true
+    (List.length (Trace.hottest_rounds ~top:3 trace) <= 3)
+
+let test_csv () =
+  let _n, trace, _outcome = traced_run () in
+  let csv = Trace.to_csv trace in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.check Alcotest.int "one line per event + header"
+    (Trace.length trace + 1) (List.length lines);
+  Alcotest.check Alcotest.string "header" Trace.csv_header (List.hd lines);
+  List.iter
+    (fun line ->
+      Alcotest.check Alcotest.int "six fields" 6
+        (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_empty_trace () =
+  let trace = Trace.create () in
+  Alcotest.check Alcotest.int "empty" 0 (Trace.length trace);
+  Alcotest.check Alcotest.string "header only" (Trace.csv_header ^ "\n") (Trace.to_csv trace);
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "no rounds" [] (Trace.bits_per_round trace)
+
+let suite =
+  [
+    Alcotest.test_case "events match metrics" `Quick test_events_match_metrics;
+    Alcotest.test_case "event shape" `Quick test_event_shape;
+    Alcotest.test_case "summaries" `Quick test_summaries;
+    Alcotest.test_case "csv export" `Quick test_csv;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace;
+  ]

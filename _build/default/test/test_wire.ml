@@ -1,0 +1,95 @@
+(* Wire codecs: roundtrips and rejection of adversarial bytes. *)
+
+open Wire
+
+let roundtrip name w r v equal =
+  Alcotest.check Alcotest.bool name true
+    (match decode_full r (encode (w v)) with Some v' -> equal v v' | None -> false)
+
+let test_scalars () =
+  roundtrip "u8" w_u8 r_u8 200 ( = );
+  roundtrip "u16" w_u16 r_u16 0xabcd ( = );
+  roundtrip "bool t" w_bool r_bool true ( = );
+  roundtrip "bool f" w_bool r_bool false ( = );
+  List.iter
+    (fun v -> roundtrip (Printf.sprintf "varint %d" v) w_varint r_varint v ( = ))
+    [ 0; 1; 127; 128; 300; 16384; 1 lsl 30; max_int ];
+  Alcotest.check_raises "u8 range" (Invalid_argument "Wire.w_u8") (fun () ->
+      ignore (encode (w_u8 256)));
+  Alcotest.check_raises "varint negative" (Invalid_argument "Wire.w_varint") (fun () ->
+      ignore (encode (w_varint (-1))))
+
+let test_composites () =
+  roundtrip "bytes" w_bytes (r_bytes ()) "hello \x00 world" String.equal;
+  roundtrip "empty bytes" w_bytes (r_bytes ()) "" String.equal;
+  roundtrip "option some" (w_option w_bytes) (r_option (r_bytes ())) (Some "x") ( = );
+  roundtrip "option none" (w_option w_bytes) (r_option (r_bytes ())) None ( = );
+  roundtrip "list" (w_list w_varint) (r_list r_varint) [ 1; 2; 3; 500 ] ( = );
+  roundtrip "pair" (w_pair w_bool w_bytes) (r_pair r_bool (r_bytes ())) (true, "yo") ( = );
+  roundtrip "bits" w_bits (r_bits ()) (Bitstring.of_string "1101001") Bitstring.equal;
+  roundtrip "empty bits" w_bits (r_bits ()) Bitstring.empty Bitstring.equal;
+  Alcotest.check Alcotest.string "fixed is raw" "abc" (encode (w_fixed "abc"));
+  Alcotest.check Alcotest.string "seq concatenates" "\001abc"
+    (encode (seq [ w_bool true; w_fixed "abc" ]))
+
+let none_is name r s =
+  Alcotest.check Alcotest.bool name true (decode_full r s = None)
+
+let test_adversarial () =
+  none_is "truncated u16" r_u16 "\x01";
+  none_is "trailing garbage" r_u8 "\x01\x02";
+  none_is "bad bool" r_bool "\x07";
+  none_is "bad option tag" (r_option r_u8) "\x05\x01";
+  none_is "truncated bytes" (r_bytes ()) "\x05ab";
+  none_is "oversized bytes claim" (r_bytes ~max:4 ()) "\x10aaaaaaaaaaaaaaaa";
+  none_is "huge varint claim" (r_bytes ()) "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff";
+  none_is "list too long" (r_list ~max:2 r_u8) "\x03\x01\x02\x03";
+  none_is "bits bad padding" (r_bits ()) "\x04\xff";
+  none_is "bits truncated" (r_bits ()) "\x20\xaa";
+  none_is "empty input for u8" r_u8 "";
+  (* varint longer than 9 continuation bytes rejected *)
+  none_is "varint overlong" r_varint "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01"
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500 QCheck.(int_bound max_int)
+    (fun v -> decode_full r_varint (encode (w_varint v)) = Some v)
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip" ~count:300 QCheck.string (fun s ->
+      decode_full (r_bytes ()) (encode (w_bytes s)) = Some s)
+
+let prop_random_bytes_never_crash =
+  (* Decoders must be total on garbage. *)
+  QCheck.Test.make ~name:"garbage never raises" ~count:500 QCheck.string (fun s ->
+      let readers =
+        [
+          (fun s -> ignore (decode_full r_u8 s));
+          (fun s -> ignore (decode_full r_varint s));
+          (fun s -> ignore (decode_full (r_bytes ()) s));
+          (fun s -> ignore (decode_full (r_list r_varint) s));
+          (fun s -> ignore (decode_full (r_bits ()) s));
+          (fun s -> ignore (decode_full (r_option (r_pair r_bool (r_bytes ()))) s));
+        ]
+      in
+      List.for_all
+        (fun r ->
+          match r s with () -> true | exception _ -> false)
+        readers)
+
+let prop_list_roundtrip =
+  QCheck.Test.make ~name:"list of pairs roundtrip" ~count:200
+    QCheck.(small_list (pair small_nat string))
+    (fun l ->
+      decode_full (r_list (r_pair r_varint (r_bytes ()))) (encode (w_list (w_pair w_varint w_bytes) l))
+      = Some l)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "composites" `Quick test_composites;
+    Alcotest.test_case "adversarial bytes" `Quick test_adversarial;
+    QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
+    QCheck_alcotest.to_alcotest prop_random_bytes_never_crash;
+    QCheck_alcotest.to_alcotest prop_list_roundtrip;
+  ]

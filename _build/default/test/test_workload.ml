@@ -1,0 +1,178 @@
+(* Workload layer: generators, corrupt placement, input attacks, protocol
+   wrappers and report coherence. *)
+
+open Net
+
+let bigint_t = Alcotest.testable Bigint.pp Bigint.equal
+
+let test_sensor_readings () =
+  let rng = Prng.create 1 in
+  let xs = Workload.sensor_readings rng ~n:50 ~base:(-1004) ~jitter:2 in
+  Alcotest.check Alcotest.int "count" 50 (Array.length xs);
+  Array.iter
+    (fun v ->
+      let v = Option.get (Bigint.to_int_opt v) in
+      Alcotest.check Alcotest.bool "within band" true (v >= -1006 && v <= -1002))
+    xs;
+  (* Determinism. *)
+  let ys = Workload.sensor_readings (Prng.create 1) ~n:50 ~base:(-1004) ~jitter:2 in
+  Alcotest.check (Alcotest.array bigint_t) "deterministic" xs ys
+
+let test_price_feed () =
+  let rng = Prng.create 2 in
+  let xs = Workload.price_feed rng ~n:20 ~base:"2931" ~decimals:18 ~spread_ppm:200 in
+  let base = Bigint.mul (Bigint.of_string "2931") (Bigint.of_string ("1" ^ String.make 18 '0')) in
+  let max_delta = Bigint.div (Bigint.mul base (Bigint.of_int 200)) (Bigint.of_int 1_000_000) in
+  Array.iter
+    (fun v ->
+      let delta = Bigint.abs (Bigint.sub v base) in
+      Alcotest.check Alcotest.bool "within spread" true (Bigint.compare delta max_delta <= 0))
+    xs
+
+let test_timestamps () =
+  let rng = Prng.create 3 in
+  let now = "1783425600000000000" in
+  let xs = Workload.timestamps rng ~n:20 ~now_ns:now ~skew_ns:40_000_000 in
+  Array.iter
+    (fun v ->
+      let delta = Bigint.abs (Bigint.sub v (Bigint.of_string now)) in
+      Alcotest.check Alcotest.bool "within skew" true
+        (Bigint.compare delta (Bigint.of_int 40_000_000) <= 0))
+    xs
+
+let test_bit_generators () =
+  let rng = Prng.create 4 in
+  let xs = Workload.uniform_bits rng ~n:10 ~bits:200 in
+  Array.iter
+    (fun v ->
+      Alcotest.check Alcotest.int "exact bit length (top bit set)" 200 (Bigint.bit_length v))
+    xs;
+  let shared = 64 in
+  let ys = Workload.clustered_bits rng ~n:10 ~bits:200 ~shared_prefix_bits:shared in
+  let prefixes =
+    Array.map (fun v -> Bitstring.prefix (Bigint.to_bitstring_fixed ~bits:200 v) shared) ys
+  in
+  Array.iter
+    (fun p -> Alcotest.check Alcotest.bool "common prefix" true (Bitstring.equal p prefixes.(0)))
+    prefixes;
+  Alcotest.check_raises "prefix too long" (Invalid_argument "Workload.clustered_bits")
+    (fun () -> ignore (Workload.clustered_bits rng ~n:2 ~bits:8 ~shared_prefix_bits:9))
+
+let test_spread_corrupt () =
+  List.iter
+    (fun (n, t) ->
+      let corrupt = Workload.spread_corrupt ~n ~t in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "exactly t corrupted (n=%d,t=%d)" n t)
+        t
+        (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 corrupt);
+      Alcotest.check Alcotest.int "array size" n (Array.length corrupt))
+    [ (4, 1); (7, 2); (10, 3); (13, 4); (31, 10); (4, 0) ]
+
+let test_input_attacks () =
+  let corrupt = [| true; false; true; false |] in
+  let inputs = Array.init 4 (fun i -> Bigint.of_int (100 + i)) in
+  let high = Workload.apply_input_attack Workload.Outlier_high ~corrupt inputs in
+  Alcotest.check Alcotest.bool "corrupt raised" true
+    (Bigint.compare high.(0) (Bigint.pow2 399) > 0);
+  Alcotest.check bigint_t "honest untouched" (Bigint.of_int 101) high.(1);
+  Alcotest.check bigint_t "original array unmodified" (Bigint.of_int 100) inputs.(0);
+  let low = Workload.apply_input_attack Workload.Outlier_low ~corrupt inputs in
+  Alcotest.check Alcotest.bool "corrupt lowered" true (Bigint.sign low.(2) < 0);
+  let split = Workload.apply_input_attack Workload.Split_extremes ~corrupt inputs in
+  Alcotest.check Alcotest.bool "split has both signs" true
+    (Bigint.sign split.(0) <> Bigint.sign split.(2));
+  let none = Workload.apply_input_attack Workload.Honest_inputs ~corrupt inputs in
+  Alcotest.check (Alcotest.array bigint_t) "honest-inputs is identity" inputs none
+
+let test_to_fixed_clamps () =
+  let b = Workload.to_fixed ~bits:8 (Bigint.of_int 100000) in
+  Alcotest.check Alcotest.string "clamped to all ones" "11111111" (Bitstring.to_string b);
+  let small = Workload.to_fixed ~bits:8 (Bigint.of_int 5) in
+  Alcotest.check Alcotest.string "padded" "00000101" (Bitstring.to_string small);
+  let negative = Workload.to_fixed ~bits:8 (Bigint.of_int (-5)) in
+  Alcotest.check Alcotest.string "magnitude of negative" "00000101"
+    (Bitstring.to_string negative)
+
+let test_report_coherence () =
+  let n = 4 and t = 1 in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let inputs = Array.init n (fun i -> Bigint.of_int (50 + i)) in
+  let report =
+    Workload.run_int ~n ~t ~corrupt ~adversary:Adversary.passive ~inputs
+      Workload.pi_z.Workload.run
+  in
+  Alcotest.check Alcotest.int "n-t honest outputs" (n - t)
+    (List.length report.Workload.outputs);
+  Alcotest.check Alcotest.bool "agreement" true report.Workload.agreement;
+  Alcotest.check Alcotest.bool "validity" true report.Workload.convex_validity;
+  Alcotest.check Alcotest.bool "bits positive" true (report.Workload.honest_bits > 0);
+  Alcotest.check Alcotest.bool "rounds positive" true (report.Workload.rounds > 0);
+  (* Label accounting covers all honest bits. *)
+  let label_sum = List.fold_left (fun acc (_, b) -> acc + b) 0 report.Workload.labels in
+  Alcotest.check Alcotest.int "labels partition honest bits" report.Workload.honest_bits
+    label_sum
+
+let test_king_injector_wins_plain_ba () =
+  (* The attack that motivates CA: with disagreeing honest inputs and a
+     corrupted phase-1 king, phase-king BA outputs the injected value. *)
+  let n = 4 and t = 1 and bits = 16 in
+  let corrupt = [| true; false; false; false |] in
+  let evil = Bigint.of_int 54321 in
+  let payload = Bitstring.to_bytes (Workload.to_fixed ~bits evil) in
+  let inputs = [| Bigint.of_int 9; Bigint.of_int 10; Bigint.of_int 11; Bigint.of_int 12 |] in
+  let report =
+    Workload.run_int ~n ~t ~corrupt ~adversary:(Workload.king_injector ~payload) ~inputs
+      (Workload.phase_king_ba ~bits).Workload.run
+  in
+  Alcotest.check Alcotest.bool "BA agreement survives" true report.Workload.agreement;
+  List.iter
+    (fun o -> Alcotest.check bigint_t "the injected value wins" evil o)
+    report.Workload.outputs;
+  (* And Π_Z is immune to the identical adversary. *)
+  let report =
+    Workload.run_int ~n ~t ~corrupt ~adversary:(Workload.king_injector ~payload) ~inputs
+      Workload.pi_z.Workload.run
+  in
+  Alcotest.check Alcotest.bool "Pi_Z validity" true report.Workload.convex_validity
+
+let test_comparator_wrappers_roundtrip () =
+  (* Each fixed-width comparator must at least solve its own agreement task
+     on unanimous inputs. *)
+  let n = 4 and t = 1 and bits = 16 in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let inputs = Array.make n (Bigint.of_int 4242) in
+  List.iter
+    (fun (p : Workload.protocol) ->
+      let report =
+        Workload.run_int ~n ~t ~corrupt ~adversary:Adversary.passive ~inputs
+          p.Workload.run
+      in
+      Alcotest.check Alcotest.bool (p.Workload.proto_name ^ " agreement") true
+        report.Workload.agreement;
+      List.iter
+        (fun o -> Alcotest.check bigint_t (p.Workload.proto_name ^ " keeps value")
+            (Bigint.of_int 4242) o)
+        report.Workload.outputs)
+    [
+      Workload.pi_z;
+      Workload.high_cost_ca ~bits;
+      Workload.broadcast_ca ~bits;
+      Workload.turpin_coan_ba ~bits;
+      Workload.phase_king_ba ~bits;
+      Workload.approx_agreement ~bits ~rounds:4;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "sensor readings" `Quick test_sensor_readings;
+    Alcotest.test_case "price feed" `Quick test_price_feed;
+    Alcotest.test_case "timestamps" `Quick test_timestamps;
+    Alcotest.test_case "bit generators" `Quick test_bit_generators;
+    Alcotest.test_case "spread_corrupt" `Quick test_spread_corrupt;
+    Alcotest.test_case "input attacks" `Quick test_input_attacks;
+    Alcotest.test_case "to_fixed clamps" `Quick test_to_fixed_clamps;
+    Alcotest.test_case "report coherence" `Quick test_report_coherence;
+    Alcotest.test_case "king injector" `Quick test_king_injector_wins_plain_ba;
+    Alcotest.test_case "comparator wrappers" `Quick test_comparator_wrappers_roundtrip;
+  ]
