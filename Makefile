@@ -1,0 +1,35 @@
+# Tier-1 gate: everything CI (and the ROADMAP) requires must pass here.
+#
+#   make check     build + format check + full test suite, in one shot
+#
+# The format check degrades gracefully: ocamlformat is optional in the
+# toolchain image, and `dune build @fmt` fails hard when the binary is
+# missing, so we only run it when available.
+
+DUNE ?= dune
+
+.PHONY: all build fmt test check bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		$(DUNE) build @fmt; \
+	else \
+		echo "[fmt] ocamlformat not installed; skipping format check"; \
+	fi
+
+test:
+	$(DUNE) runtest
+
+check: build fmt test
+	@echo "[check] tier-1 gate passed"
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

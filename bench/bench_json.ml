@@ -1,0 +1,66 @@
+(* Minimal JSON emitter for machine-readable benchmark results, so the perf
+   trajectory is trackable across PRs (BENCH_*.json files at the repo root).
+   No external dependency; strings are escaped conservatively. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_value buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Null -> Buffer.add_string buf "null"
+
+let emit_obj buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (key, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape key);
+      Buffer.add_string buf "\": ";
+      emit_value buf v)
+    fields;
+  Buffer.add_char buf '}'
+
+(* {"meta": {...}, "rows": [{...}, ...]} — one row object per table line. *)
+let write ~path ~meta ~rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"meta\": ";
+  emit_obj buf meta;
+  Buffer.add_string buf ",\n  \"rows\": [";
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf (if i > 0 then ",\n    " else "\n    ");
+      emit_obj buf row)
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n[wrote %s: %d rows]\n" path (List.length rows)

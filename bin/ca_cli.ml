@@ -162,6 +162,123 @@ let trace_scenario n t protocol_name workload_name adversary_name attack_name bi
   Format.printf "%a" (fun fmt tr -> Trace.pp_summary fmt tr ~n) trace
 
 (* ------------------------------------------------------------------ *)
+(* The engine command                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let engine_scenario n t sessions spacing backend adversary_name attack_name bits
+    seed verbose =
+  if 3 * t >= n then begin
+    Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
+    exit 2
+  end;
+  if sessions < 1 then begin
+    Printf.eprintf "error: --sessions must be at least 1\n";
+    exit 2
+  end;
+  if spacing < 0 then begin
+    Printf.eprintf "error: --spacing must be non-negative\n";
+    exit 2
+  end;
+  (match backend with
+  | "sim" | "unix" -> ()
+  | b ->
+      Printf.eprintf "error: unknown backend %S; available: sim, unix\n" b;
+      exit 2);
+  let unix = String.equal backend "unix" in
+  if unix && not (String.equal adversary_name "passive") then begin
+    Printf.eprintf
+      "error: the unix backend runs honest executions only; byzantine \
+       behaviour is a simulator concern (use --backend sim or --adversary \
+       passive)\n";
+    exit 2
+  end;
+  let lookup what table name =
+    match List.assoc_opt name table with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "error: unknown %s %S; available: %s\n" what name
+          (String.concat ", " (List.map fst table));
+        exit 2
+  in
+  let attack = lookup "attack" attack_catalogue attack_name in
+  let corrupt =
+    if unix then Array.make n false else Workload.spread_corrupt ~n ~t
+  in
+  (* Each session gets its own seeded input vector and its own adversary
+     instance (strategies carry PRNG state), as the engine requires. *)
+  let inputs =
+    Array.init sessions (fun k ->
+        let rng = Prng.create (seed + (101 * k)) in
+        Workload.apply_input_attack attack ~corrupt
+          (Workload.clustered_bits rng ~n ~bits ~shared_prefix_bits:(bits / 2)))
+  in
+  let specs =
+    List.init sessions (fun k ->
+        let adversary =
+          lookup "adversary"
+            (adversary_catalogue ~seed:(seed + (997 * k)))
+            adversary_name
+        in
+        Engine.session ~start_round:(k * spacing) ~adversary ~sid:k (fun ctx ->
+            Workload.pi_z.Workload.run ctx inputs.(k).(ctx.Ctx.me)))
+  in
+  let outcome =
+    if unix then Engine.run_unix ~t ~n specs
+    else Engine.run_sim ~n ~t ~corrupt specs
+  in
+  Printf.printf
+    "backend:   %s   (n=%d, t=%d, protocol=%s, adversary=%s, attack=%s, \
+     seed=%d)\n"
+    backend n t Workload.pi_z.Workload.proto_name adversary_name attack_name
+    seed;
+  Printf.printf "sessions:  %d, spacing %d engine round(s) between arrivals\n\n"
+    sessions spacing;
+  Printf.printf "  sid  admit  retire  rounds  honest-bits  agree  valid\n";
+  let ok = ref true in
+  List.iter
+    (fun r ->
+      let honest = Engine.honest_outputs ~corrupt r in
+      let agree =
+        match honest with
+        | [] -> false
+        | o :: rest -> List.for_all (Bigint.equal o) rest
+      in
+      let honest_inputs =
+        List.filteri
+          (fun i _ -> not corrupt.(i))
+          (Array.to_list inputs.(r.Engine.r_sid))
+      in
+      let valid =
+        List.for_all
+          (fun o -> Convex.in_convex_hull ~inputs:honest_inputs o)
+          honest
+      in
+      if not (agree && valid) then ok := false;
+      Printf.printf "  %3d  %5d  %6d  %6d  %11d  %5s  %5s\n" r.Engine.r_sid
+        r.Engine.r_admitted_at r.Engine.r_retired_at
+        r.Engine.r_metrics.Metrics.rounds r.Engine.r_metrics.Metrics.honest_bits
+        (if agree then "yes" else "NO")
+        (if valid then "yes" else "NO");
+      if verbose then
+        match honest with
+        | o :: _ -> Printf.printf "       output: %s\n" (Bigint.to_string o)
+        | [] -> ())
+    outcome.Engine.sessions;
+  let a = outcome.Engine.aggregate in
+  Printf.printf
+    "\n\
+     aggregate: %d engine rounds, %d/%d sessions completed, peak %d live\n\
+     transport: %d coalesced frames (naive %d, saved %d), %d frame bytes, %d \
+     payload bytes\n\
+     cost:      %d honest bits total (%d bits/session)\n"
+    a.Engine.engine_rounds a.Engine.sessions_completed sessions
+    a.Engine.peak_live a.Engine.frames_sent a.Engine.naive_frames
+    a.Engine.frames_saved a.Engine.frame_bytes a.Engine.payload_bytes
+    a.Engine.honest_bits_total
+    (a.Engine.honest_bits_total / sessions);
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* The list command                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -274,8 +391,41 @@ let trace_cmd =
       const trace_scenario $ n_arg $ t_arg $ protocol_arg $ workload_arg
       $ adversary_arg $ attack_arg $ bits_arg $ aa_rounds_arg $ seed_arg $ csv_arg)
 
+let sessions_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "sessions"; "k" ] ~docv:"K"
+        ~doc:"Number of concurrent Π_ℤ sessions to multiplex.")
+
+let spacing_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "spacing" ] ~docv:"S"
+        ~doc:
+          "Engine rounds between session arrivals (session $(i,k) is admitted \
+           at round $(i,k)·S); 0 starts everything at once.")
+
+let backend_arg =
+  Arg.(
+    value & opt string "sim"
+    & info [ "backend" ] ~docv:"NAME"
+        ~doc:
+          "Execution backend: $(b,sim) (deterministic lock-step simulator, \
+           supports adversaries) or $(b,unix) (socket mesh, one thread per \
+           party, honest only).")
+
+let engine_cmd =
+  let doc = "multiplex many concurrent CA sessions over one transport" in
+  Cmd.v (Cmd.info "engine" ~doc)
+    Term.(
+      const engine_scenario $ n_arg $ t_arg $ sessions_arg $ spacing_arg
+      $ backend_arg $ adversary_arg $ attack_arg $ bits_arg $ seed_arg
+      $ verbose_arg)
+
 let () =
   let doc = "communication-optimal convex agreement (PODC 2024) scenario runner" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "convex-agreement" ~doc) [ run_cmd; trace_cmd; list_cmd ]))
+       (Cmd.group
+          (Cmd.info "convex-agreement" ~doc)
+          [ run_cmd; trace_cmd; engine_cmd; list_cmd ]))

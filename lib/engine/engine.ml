@@ -1,0 +1,354 @@
+(* Session-multiplexing agreement engine.
+
+   One engine round = one round of every live session, lock-step. The
+   per-session execution path deliberately mirrors Net.Sim.run statement for
+   statement (prescribed matrices, rushing-adversary view with the
+   session-local round number, byzantine truncation, accounting, delivery) so
+   that a multiplexed session is bit-identical to the same session run alone —
+   including the PRNG consumption order of stateful adversary strategies,
+   which depends on the (sender, recipient) evaluation order. Coalescing is a
+   transport-layer overlay: it changes what frames would carry the traffic,
+   never what the traffic is. *)
+
+open Net
+
+type 'a spec = {
+  sid : int;
+  start_round : int;
+  protocol : Ctx.t -> 'a Proto.t;
+  adversary : Adversary.t;
+}
+
+let session ?(start_round = 0) ?(adversary = Adversary.passive) ~sid protocol =
+  { sid; start_round; protocol; adversary }
+
+type 'a session_result = {
+  r_sid : int;
+  r_outputs : 'a option array;
+  r_metrics : Metrics.t;
+  r_admitted_at : int;
+  r_retired_at : int;
+}
+
+type aggregate = {
+  engine_rounds : int;
+  sessions_completed : int;
+  peak_live : int;
+  frames_sent : int;
+  naive_frames : int;
+  frames_saved : int;
+  frame_bytes : int;
+  payload_bytes : int;
+  honest_bits_total : int;
+}
+
+type 'a outcome = {
+  sessions : 'a session_result list;
+  aggregate : aggregate;
+}
+
+exception Round_limit_exceeded of int
+
+let default_max_rounds = 20_000
+
+let validate_specs specs =
+  if specs = [] then invalid_arg "Engine: no sessions";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if s.sid < 0 then invalid_arg "Engine: negative sid";
+      if s.start_round < 0 then invalid_arg "Engine: negative start_round";
+      if Hashtbl.mem seen s.sid then invalid_arg "Engine: duplicate sid";
+      Hashtbl.add seen s.sid ())
+    specs
+
+(* Admission order: by start_round, input order within a round — the same
+   stable order Net_unix.run_sessions uses, so frame contents agree. *)
+let admission_order specs =
+  List.stable_sort
+    (fun (_, a) (_, b) -> compare a.start_round b.start_round)
+    (List.mapi (fun i s -> (i, s)) specs)
+
+let honest_outputs ~corrupt result =
+  let out = ref [] in
+  Array.iteri
+    (fun i o ->
+      if not corrupt.(i) then
+        match o with
+        | Some v -> out := v :: !out
+        | None ->
+            failwith
+              (Printf.sprintf "Engine: party %d did not terminate in session %d"
+                 i result.r_sid))
+    result.r_outputs;
+  List.rev !out
+
+(* ---- shared aggregate assembly ------------------------------------------- *)
+
+(* Peak concurrency from the admission/retirement intervals: a session is
+   live during engine rounds [admitted .. retired] iff it consumed at least
+   one round. Computed the same way for both backends. *)
+let peak_live ~engine_rounds results =
+  let peak = ref 0 in
+  for r = 0 to engine_rounds - 1 do
+    let live =
+      List.fold_left
+        (fun acc s ->
+          if
+            s.r_metrics.Metrics.rounds > 0
+            && s.r_admitted_at <= r
+            && r <= s.r_retired_at
+          then acc + 1
+          else acc)
+        0 results
+    in
+    peak := max !peak live
+  done;
+  !peak
+
+(* ---- simulator backend ---------------------------------------------------- *)
+
+(* A live session: one protocol state and label stack per party, plus the
+   session-local metrics whose [rounds] field doubles as the adversary's
+   round number, exactly as in Sim.run. *)
+type 'a live = {
+  l_index : int;
+  l_sid : int;
+  l_adversary : Adversary.t;
+  l_states : 'a Proto.t array;
+  l_labels : string list array;
+  l_metrics : Metrics.t;
+  l_admitted : int;
+}
+
+let rec settle labels i = function
+  | Proto.Push (l, rest) ->
+      labels.(i) <- l :: labels.(i);
+      settle labels i rest
+  | Proto.Pop rest ->
+      (labels.(i) <- (match labels.(i) with [] -> [] | _ :: tl -> tl));
+      settle labels i rest
+  | (Proto.Done _ | Proto.Step _) as s -> s
+
+let honest_running ~corrupt states =
+  let running = ref false in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Proto.Step _ when not corrupt.(i) -> running := true
+      | _ -> ())
+    states;
+  !running
+
+let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
+  if Array.length corrupt <> n then invalid_arg "Engine.run_sim: corrupt array size";
+  let n_corrupt = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 corrupt in
+  if n_corrupt > t then invalid_arg "Engine.run_sim: more corruptions than t";
+  validate_specs specs;
+  let pending = ref (admission_order specs) in
+  let live = ref [] in
+  let finished = ref [] in
+  let er = ref 0 in
+  let frames_sent = ref 0 in
+  let naive_frames = ref 0 in
+  let frame_bytes = ref 0 in
+  let payload_bytes = ref 0 in
+  let retire l =
+    finished :=
+      ( l.l_index,
+        {
+          r_sid = l.l_sid;
+          r_outputs =
+            Array.map
+              (function Proto.Done v -> Some v | _ -> None)
+              l.l_states;
+          r_metrics = l.l_metrics;
+          r_admitted_at = l.l_admitted;
+          r_retired_at = !er;
+        } )
+      :: !finished
+  in
+  while !pending <> [] || !live <> [] do
+    if !er >= max_rounds then raise (Round_limit_exceeded max_rounds);
+    (* 0. Admit sessions whose start round has arrived. *)
+    let now, later =
+      List.partition (fun (_, s) -> s.start_round <= !er) !pending
+    in
+    pending := later;
+    List.iter
+      (fun (idx, spec) ->
+        let labels = Array.make n [] in
+        let states =
+          Array.init n (fun me -> spec.protocol (Ctx.make ~n ~t ~me))
+        in
+        Array.iteri (fun i s -> states.(i) <- settle labels i s) states;
+        let l =
+          {
+            l_index = idx;
+            l_sid = spec.sid;
+            l_adversary = spec.adversary;
+            l_states = states;
+            l_labels = labels;
+            l_metrics = Metrics.create ();
+            l_admitted = !er;
+          }
+        in
+        if honest_running ~corrupt states then live := !live @ [ l ]
+        else retire l)
+      now;
+    (* Per ordered pair, the entries of this round's coalesced frame, in
+       admission order (matching the unix backend's frame contents). *)
+    let bundles = Array.init n (fun _ -> Array.make n []) in
+    (* 1–4. Step every live session by one of its own rounds, exactly as
+       Sim.run would. *)
+    List.iter
+      (fun l ->
+        let metrics = l.l_metrics in
+        metrics.Metrics.rounds <- metrics.Metrics.rounds + 1;
+        let states = l.l_states in
+        let prescribed =
+          Array.map
+            (fun s ->
+              match s with
+              | Proto.Step (out, _) -> Array.init n out
+              | Proto.Done _ -> Array.make n None
+              | Proto.Push _ | Proto.Pop _ -> assert false)
+            states
+        in
+        let view =
+          { Adversary.round = metrics.Metrics.rounds; n; t; corrupt; prescribed }
+        in
+        let actual =
+          Array.init n (fun s ->
+              if not corrupt.(s) then prescribed.(s)
+              else
+                Array.init n (fun r ->
+                    match l.l_adversary.Adversary.act view ~sender:s ~recipient:r with
+                    | Some m when String.length m > Sim.max_byzantine_bytes ->
+                        Some (String.sub m 0 Sim.max_byzantine_bytes)
+                    | other -> other))
+        in
+        (* Accounting: per-session metrics see raw payloads (self free). *)
+        for s = 0 to n - 1 do
+          for r = 0 to n - 1 do
+            if s <> r then
+              match actual.(s).(r) with
+              | None -> ()
+              | Some m ->
+                  bundles.(s).(r) <- (l.l_sid, m) :: bundles.(s).(r);
+                  if corrupt.(s) then
+                    Metrics.record_byzantine metrics ~bytes:(String.length m)
+                  else
+                    let label =
+                      match l.l_labels.(s) with [] -> None | lb :: _ -> Some lb
+                    in
+                    Metrics.record_honest metrics ~label ~bytes:(String.length m)
+          done
+        done;
+        (* A frame-per-session transport would send one frame per peer from
+           every party whose instance is still stepping. *)
+        Array.iter
+          (function Proto.Step _ -> naive_frames := !naive_frames + (n - 1) | _ -> ())
+          states;
+        (* Deliver and advance. *)
+        for i = 0 to n - 1 do
+          match states.(i) with
+          | Proto.Step (_, k) ->
+              let inbox = Array.init n (fun s -> actual.(s).(i)) in
+              states.(i) <- settle l.l_labels i (k inbox)
+          | Proto.Done _ -> ()
+          | Proto.Push _ | Proto.Pop _ -> assert false
+        done)
+      !live;
+    (* 5. Transport accounting: one coalesced frame per ordered pair. *)
+    for s = 0 to n - 1 do
+      for r = 0 to n - 1 do
+        if s <> r then begin
+          let entries = List.rev bundles.(s).(r) in
+          let body = Wire.Frame.encode { Wire.Frame.round = !er; entries } in
+          incr frames_sent;
+          frame_bytes := !frame_bytes + String.length body;
+          List.iter
+            (fun (_, m) -> payload_bytes := !payload_bytes + String.length m)
+            entries
+        end
+      done
+    done;
+    (* 6. Retire sessions whose honest parties have all terminated. *)
+    live :=
+      List.filter
+        (fun l ->
+          if honest_running ~corrupt l.l_states then true
+          else begin
+            retire l;
+            false
+          end)
+        !live;
+    incr er
+  done;
+  let results =
+    List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) !finished)
+  in
+  let honest_bits_total =
+    List.fold_left (fun acc s -> acc + s.r_metrics.Metrics.honest_bits) 0 results
+  in
+  {
+    sessions = results;
+    aggregate =
+      {
+        engine_rounds = !er;
+        sessions_completed = List.length results;
+        peak_live = peak_live ~engine_rounds:!er results;
+        frames_sent = !frames_sent;
+        naive_frames = !naive_frames;
+        frames_saved = !naive_frames - !frames_sent;
+        frame_bytes = !frame_bytes;
+        payload_bytes = !payload_bytes;
+        honest_bits_total;
+      };
+  }
+
+(* ---- socket backend ------------------------------------------------------- *)
+
+let run_unix ?t ~n specs =
+  validate_specs specs;
+  let sessions =
+    Array.of_list (List.map (fun s -> (s.sid, s.start_round, s.protocol)) specs)
+  in
+  let outs, st = Net_unix.run_sessions ?t ~n sessions in
+  let results =
+    List.mapi
+      (fun i spec ->
+        let rounds = st.Net_unix.mx_session_rounds.(i) in
+        let metrics = Metrics.create () in
+        metrics.Metrics.rounds <- rounds;
+        metrics.Metrics.honest_bits <- 8 * st.Net_unix.mx_session_payload_bytes.(i);
+        metrics.Metrics.honest_msgs <- st.Net_unix.mx_session_msgs.(i);
+        {
+          r_sid = spec.sid;
+          r_outputs = Array.map (fun v -> Some v) outs.(i);
+          r_metrics = metrics;
+          r_admitted_at = spec.start_round;
+          r_retired_at =
+            (if rounds = 0 then spec.start_round else spec.start_round + rounds - 1);
+        })
+      specs
+  in
+  let honest_bits_total =
+    List.fold_left (fun acc s -> acc + s.r_metrics.Metrics.honest_bits) 0 results
+  in
+  {
+    sessions = results;
+    aggregate =
+      {
+        engine_rounds = st.Net_unix.mx_rounds;
+        sessions_completed = List.length results;
+        peak_live = peak_live ~engine_rounds:st.Net_unix.mx_rounds results;
+        frames_sent = st.Net_unix.mx_frames;
+        naive_frames = st.Net_unix.mx_naive_frames;
+        frames_saved = st.Net_unix.mx_naive_frames - st.Net_unix.mx_frames;
+        frame_bytes = st.Net_unix.mx_frame_bytes;
+        payload_bytes = st.Net_unix.mx_payload_bytes;
+        honest_bits_total;
+      };
+  }

@@ -1,0 +1,111 @@
+(** Session-multiplexing agreement engine: many concurrent protocol
+    instances over one transport.
+
+    Every entry point below runs [K] independent {e sessions} — each an
+    ['a Net.Proto.t] instance executed by the same [n] parties — inside one
+    round-driven scheduler. Each engine round, every live session advances by
+    exactly one of its own rounds, and all sessions' traffic between an
+    ordered pair of parties is coalesced into a single {!Wire.Frame}, so the
+    per-frame transport cost is paid once per pair per round regardless of
+    how many sessions are live. This is how the deployments from the paper's
+    introduction (blockchain oracles, transaction ordering) amortize
+    transport cost across thousands of concurrent agreement instances.
+
+    Sessions are admitted from an arrival queue when their [start_round]
+    arrives, run at independent round offsets (a session admitted at engine
+    round [a] executes its own round [r] during engine round [a + r - 1]),
+    and retire as they terminate without perturbing the others.
+
+    Per-session semantics are {e exactly} those of a standalone
+    {!Net.Sim.run}: each session has its own adversary instance, which sees
+    the session-local round number and only that session's prescribed
+    messages, and per-session metrics count the raw payload bytes — so a
+    multiplexed session's outputs and metrics are bit-identical to the same
+    session run sequentially (asserted by [test/test_engine.ml]). Coalescing
+    is accounted separately, at the transport layer. *)
+
+type 'a spec = {
+  sid : int;  (** Session id carried in frames; distinct, non-negative. *)
+  start_round : int;  (** Engine round (0-based) at which to admit. *)
+  protocol : Net.Ctx.t -> 'a Net.Proto.t;
+  adversary : Net.Adversary.t;
+      (** Simulator backend only; supply a fresh instance per session —
+          strategies carry PRNG state. Ignored by {!run_unix}. *)
+}
+
+val session :
+  ?start_round:int ->
+  ?adversary:Net.Adversary.t ->
+  sid:int ->
+  (Net.Ctx.t -> 'a Net.Proto.t) ->
+  'a spec
+(** Spec builder; [start_round] defaults to 0, [adversary] to
+    {!Net.Adversary.passive}. *)
+
+type 'a session_result = {
+  r_sid : int;
+  r_outputs : 'a option array;
+      (** Per party, as in {!Net.Sim.outcome}: [Some] once the party's
+          instance terminated ([run_unix] always fills every slot). *)
+  r_metrics : Net.Metrics.t;
+      (** Session-local rounds, honest bits, per-label bits — identical to a
+          sequential run of the same session. [run_unix] fills rounds,
+          honest bits and honest messages; label attribution is
+          simulator-only. *)
+  r_admitted_at : int;  (** Engine round at which the session was admitted. *)
+  r_retired_at : int;
+      (** Engine round of the session's last step ([= r_admitted_at] for
+          zero-round sessions). *)
+}
+
+type aggregate = {
+  engine_rounds : int;
+  sessions_completed : int;
+  peak_live : int;  (** Maximum number of concurrently live sessions. *)
+  frames_sent : int;  (** Coalesced frames: one per ordered pair per round. *)
+  naive_frames : int;
+      (** Frames a frame-per-session transport would have sent. *)
+  frames_saved : int;  (** [naive_frames - frames_sent]. *)
+  frame_bytes : int;
+      (** Encoded {!Wire.Frame} bytes on the wire — includes session-id tags
+          and, in adversarial simulator runs, byzantine payloads. *)
+  payload_bytes : int;  (** Raw session payload bytes inside the frames. *)
+  honest_bits_total : int;  (** Sum of the sessions' honest bits. *)
+}
+
+type 'a outcome = {
+  sessions : 'a session_result list;  (** In input order. *)
+  aggregate : aggregate;
+}
+
+exception Round_limit_exceeded of int
+(** Engine-round tripwire, as in {!Net.Sim}. *)
+
+val default_max_rounds : int
+
+val run_sim :
+  ?max_rounds:int ->
+  n:int ->
+  t:int ->
+  corrupt:bool array ->
+  'a spec list ->
+  'a outcome
+(** Execute every session in the deterministic lock-step simulator, with the
+    per-session rushing adversaries controlling the corrupted parties.
+    Raises [Invalid_argument] on inconsistent parameters (corrupt-array
+    size, more corruptions than [t], duplicate or negative sids, negative
+    start rounds, empty session list). *)
+
+val run_unix :
+  ?t:int -> n:int -> 'a spec list -> 'a outcome
+(** Execute every session over one shared Unix socket mesh
+    ({!Net_unix.run_sessions}): one thread per party, one coalesced frame
+    per ordered pair per engine round. Honest executions only — the specs'
+    adversaries are ignored. Outputs, per-session rounds and honest bits are
+    bit-identical to {!run_sim} with no corruptions (asserted by the
+    cross-backend tests). *)
+
+val honest_outputs : corrupt:bool array -> 'a session_result -> 'a list
+(** Honest parties' outputs of one session, in party order; raises [Failure]
+    if an honest party did not terminate (cannot happen unless [max_rounds]
+    was abused). *)

@@ -46,6 +46,20 @@ let record_byzantine m ~bytes =
   m.byz_bits <- m.byz_bits + (8 * bytes);
   m.byz_msgs <- m.byz_msgs + 1
 
+(* Counters sum; rounds take the max — concurrent sessions overlap in time,
+   so an aggregate's round count is its longest member's, not the total. *)
+let merge ~into src =
+  into.rounds <- max into.rounds src.rounds;
+  into.honest_bits <- into.honest_bits + src.honest_bits;
+  into.honest_msgs <- into.honest_msgs + src.honest_msgs;
+  into.byz_bits <- into.byz_bits + src.byz_bits;
+  into.byz_msgs <- into.byz_msgs + src.byz_msgs;
+  Hashtbl.iter
+    (fun label bits ->
+      Hashtbl.replace into.by_label label
+        (bits + Option.value ~default:0 (Hashtbl.find_opt into.by_label label)))
+    src.by_label
+
 let labels m =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.by_label []
   |> List.sort (fun (_, a) (_, b) -> compare b a)

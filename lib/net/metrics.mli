@@ -29,6 +29,12 @@ val no_label : string
 val record_honest : t -> label:string option -> bytes:int -> unit
 val record_byzantine : t -> bytes:int -> unit
 
+val merge : into:t -> t -> unit
+(** Accumulate a session's counters into an aggregate: bit/message counters
+    and per-label bits are summed; [rounds] takes the max, because concurrent
+    sessions overlap in time (the engine's wall-clock is the max, not the
+    sum, of its sessions' rounds). *)
+
 val labels : t -> (string * int) list
 (** Per-label honest bits, largest first. *)
 

@@ -5,19 +5,25 @@
    whose receiver is alive, never on application backpressure — the classic
    all-write-then-all-read deadlock cannot occur.
 
-   Wire format per frame:  round:u32  tag:u8(0|1)  [len:u32 payload]  — all
-   big-endian. An explicit tag-0 frame is sent even when the protocol
-   prescribes silence, which is what keeps rounds aligned without a barrier. *)
+   Two wire formats share this machinery:
+
+   - single-session ({!run}):  round:u32  tag:u8(0|1)  [len:u32 payload]
+   - multi-session ({!run_sessions}):  len:u32  body, where body is a
+     [Wire.Frame] — varint round plus one (sid, payload) entry per session
+     with traffic this round.
+
+   In both, an explicit frame is sent every round even when the protocol(s)
+   prescribe silence, which is what keeps rounds aligned without a barrier. *)
 
 type stats = { bytes_sent : int; frames_sent : int; rounds : int }
 
 (* ---- thread-safe mailbox of incoming frames, in round order ------------- *)
 
 module Mailbox = struct
-  type t = {
+  type 'a t = {
     mutex : Mutex.t;
     nonempty : Condition.t;
-    queue : (int * string option) Queue.t;
+    queue : (int * 'a) Queue.t;
     mutable closed : bool;
   }
 
@@ -99,16 +105,29 @@ let read_frame ic =
       (round, Some body)
   | tag -> failwith (Printf.sprintf "Net_unix: bad frame tag %d" tag)
 
-(* ---- the runner ----------------------------------------------------------- *)
+(* Multi-session framing: u32 length prefix, then a Wire.Frame body. *)
+let write_session_frame oc body =
+  write_u32 oc (String.length body);
+  output_string oc body;
+  flush oc
 
-let run ?t ~n protocol =
-  if n < 1 then invalid_arg "Net_unix.run: n < 1";
+let read_session_frame ic =
+  let len = read_u32 ic in
+  let body = really_input_string ic len in
+  match Wire.Frame.decode body with
+  | Some f -> (f.Wire.Frame.round, f.Wire.Frame.entries)
+  | None -> failwith "Net_unix: undecodable session frame"
+
+(* ---- shared mesh machinery ------------------------------------------------ *)
+
+let ignore_sigpipe () =
   (* A peer that failed has shut its sockets down; writing to it must raise
      (EPIPE -> Sys_error) in the writing party, not kill the process. *)
-  (if Sys.os_type = "Unix" then
-     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let t = match t with Some t -> t | None -> (n - 1) / 3 in
-  (* Socket mesh: fds.(i).(j) is party i's endpoint towards party j. *)
+  if Sys.os_type = "Unix" then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* Socket mesh: fds.(i).(j) is party i's endpoint towards party j. *)
+let make_mesh n =
   let fds = Array.make_matrix n n Unix.stdin in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
@@ -117,10 +136,11 @@ let run ?t ~n protocol =
       fds.(j).(i) <- b
     done
   done;
-  let mailboxes = Array.init n (fun _ -> Array.init n (fun _ -> Mailbox.create ())) in
-  let bytes_sent = Atomic.make 0 in
-  let frames_sent = Atomic.make 0 in
-  (* Receiver threads: one per directed connection. *)
+  fds
+
+(* Receiver threads: one per directed connection, parameterized over the
+   frame reader so both wire formats share the draining discipline. *)
+let spawn_receivers ~n ~fds ~read mailboxes =
   let receivers = ref [] in
   for me = 0 to n - 1 do
     for peer = 0 to n - 1 do
@@ -132,7 +152,7 @@ let run ?t ~n protocol =
             (fun () ->
               try
                 while true do
-                  Mailbox.push box (read_frame ic)
+                  Mailbox.push box (read ic)
                 done
               with End_of_file | Sys_error _ | Failure _ -> Mailbox.close box)
             ()
@@ -141,6 +161,49 @@ let run ?t ~n protocol =
       end
     done
   done;
+  !receivers
+
+(* Shut the mesh down. A plain close would not wake receiver threads blocked
+   inside read(2); shutdown(2) delivers them EOF first. *)
+let shutdown_mesh ~n fds =
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      List.iter
+        (fun fd ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        [ fds.(i).(j); fds.(j).(i) ]
+    done
+  done
+
+let close_mesh ~n fds =
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ fds.(i).(j); fds.(j).(i) ]
+    done
+  done
+
+(* Fail fast: shut down a failed party's connections so peers waiting on its
+   frames fail with "connection closed" instead of deadlocking. *)
+let shutdown_party ~n fds me =
+  for j = 0 to n - 1 do
+    if j <> me then
+      try Unix.shutdown fds.(me).(j) Unix.SHUTDOWN_ALL
+      with Unix.Unix_error _ -> ()
+  done
+
+(* ---- the single-session runner ------------------------------------------- *)
+
+let run ?t ~n protocol =
+  if n < 1 then invalid_arg "Net_unix.run: n < 1";
+  ignore_sigpipe ();
+  let t = match t with Some t -> t | None -> (n - 1) / 3 in
+  let fds = make_mesh n in
+  let mailboxes = Array.init n (fun _ -> Array.init n (fun _ -> Mailbox.create ())) in
+  let bytes_sent = Atomic.make 0 in
+  let frames_sent = Atomic.make 0 in
+  let receivers = spawn_receivers ~n ~fds ~read:read_frame mailboxes in
   (* Party threads. *)
   let outputs = Array.make n None in
   let errors = Array.make n None in
@@ -182,34 +245,13 @@ let run ?t ~n protocol =
     | v -> outputs.(me) <- Some v
     | exception e ->
         errors.(me) <- Some e;
-        (* Fail fast: shut down this party's connections so peers waiting on
-           its frames fail with "connection closed" instead of deadlocking. *)
-        for j = 0 to n - 1 do
-          if j <> me then
-            try Unix.shutdown fds.(me).(j) Unix.SHUTDOWN_ALL
-            with Unix.Unix_error _ -> ()
-        done
+        shutdown_party ~n fds me
   in
   let threads = Array.init n (fun me -> Thread.create (party me) ()) in
   Array.iter Thread.join threads;
-  (* Shut the mesh down. A plain close would not wake receiver threads
-     blocked inside read(2); shutdown(2) delivers them EOF first. *)
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      List.iter
-        (fun fd ->
-          (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()))
-        [ fds.(i).(j); fds.(j).(i) ]
-    done
-  done;
-  List.iter Thread.join !receivers;
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      List.iter
-        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-        [ fds.(i).(j); fds.(j).(i) ]
-    done
-  done;
+  shutdown_mesh ~n fds;
+  List.iter Thread.join receivers;
+  close_mesh ~n fds;
   Array.iter (function Some e -> raise e | None -> ()) errors;
   let outs =
     Array.map (function Some v -> v | None -> failwith "Net_unix: missing output") outputs
@@ -219,4 +261,187 @@ let run ?t ~n protocol =
       bytes_sent = Atomic.get bytes_sent;
       frames_sent = Atomic.get frames_sent;
       rounds = Array.fold_left max 0 rounds_of;
+    } )
+
+(* ---- the session-multiplexed runner --------------------------------------- *)
+
+type multi_stats = {
+  mx_rounds : int;
+  mx_frames : int;
+  mx_naive_frames : int;
+  mx_frame_bytes : int;
+  mx_payload_bytes : int;
+  mx_session_rounds : int array;
+  mx_session_payload_bytes : int array;
+  mx_session_msgs : int array;
+}
+
+let run_sessions ?t ~n sessions =
+  if n < 1 then invalid_arg "Net_unix.run_sessions: n < 1";
+  let count = Array.length sessions in
+  if count = 0 then invalid_arg "Net_unix.run_sessions: no sessions";
+  let seen = Hashtbl.create count in
+  Array.iter
+    (fun (sid, start, _) ->
+      if sid < 0 then invalid_arg "Net_unix.run_sessions: negative sid";
+      if start < 0 then invalid_arg "Net_unix.run_sessions: negative start_round";
+      if Hashtbl.mem seen sid then
+        invalid_arg "Net_unix.run_sessions: duplicate sid";
+      Hashtbl.add seen sid ())
+    sessions;
+  ignore_sigpipe ();
+  let t = match t with Some t -> t | None -> (n - 1) / 3 in
+  (* Admission order: by start_round, input order within a round. Every party
+     computes the same order, which fixes the entry order inside frames. *)
+  let order =
+    List.stable_sort
+      (fun a b ->
+        let _, sa, _ = sessions.(a) and _, sb, _ = sessions.(b) in
+        compare sa sb)
+      (List.init count (fun i -> i))
+  in
+  let fds = make_mesh n in
+  let mailboxes = Array.init n (fun _ -> Array.init n (fun _ -> Mailbox.create ())) in
+  let receivers = spawn_receivers ~n ~fds ~read:read_session_frame mailboxes in
+  let frames = Atomic.make 0 in
+  let naive_frames = Atomic.make 0 in
+  let frame_bytes = Atomic.make 0 in
+  let payload_bytes = Atomic.make 0 in
+  let sess_payload = Array.init count (fun _ -> Atomic.make 0) in
+  let sess_msgs = Array.init count (fun _ -> Atomic.make 0) in
+  let sess_rounds = Array.make_matrix n count 0 in
+  let rounds_of = Array.make n 0 in
+  let outputs = Array.make_matrix count n None in
+  let errors = Array.make n None in
+  let party me () =
+    let ocs =
+      Array.init n (fun j ->
+          if j = me then None else Some (Unix.out_channel_of_descr fds.(me).(j)))
+    in
+    let rec strip = function
+      | Net.Proto.Push (_, rest) | Net.Proto.Pop rest -> strip rest
+      | (Net.Proto.Done _ | Net.Proto.Step _) as s -> s
+    in
+    let pending = ref order in
+    let live = ref [] in
+    (* (index, sid, state ref), admission order; states are always [Step]. *)
+    let round = ref 0 in
+    while !pending <> [] || !live <> [] do
+      (* Admit sessions whose start round has arrived. *)
+      let rec admit () =
+        match !pending with
+        | idx :: rest when (let _, s, _ = sessions.(idx) in s <= !round) ->
+            pending := rest;
+            let sid, _, protocol = sessions.(idx) in
+            (match strip (protocol (Net.Ctx.make ~n ~t ~me)) with
+            | Net.Proto.Done v -> outputs.(idx).(me) <- Some v
+            | st -> live := !live @ [ (idx, sid, ref st) ]);
+            admit ()
+        | _ -> ()
+      in
+      admit ();
+      let nlive = List.length !live in
+      (* One coalesced frame per peer carries every live session's message. *)
+      Array.iteri
+        (fun j oc ->
+          match oc with
+          | None -> ()
+          | Some oc ->
+              let entries =
+                List.filter_map
+                  (fun (idx, sid, st) ->
+                    match !st with
+                    | Net.Proto.Step (out, _) -> (
+                        match out j with
+                        | Some m ->
+                            let len = String.length m in
+                            ignore (Atomic.fetch_and_add sess_payload.(idx) len);
+                            Atomic.incr sess_msgs.(idx);
+                            ignore (Atomic.fetch_and_add payload_bytes len);
+                            Some (sid, m)
+                        | None -> None)
+                    | _ -> None)
+                  !live
+              in
+              let body = Wire.Frame.encode { Wire.Frame.round = !round; entries } in
+              write_session_frame oc body;
+              Atomic.incr frames;
+              ignore (Atomic.fetch_and_add frame_bytes (String.length body));
+              ignore (Atomic.fetch_and_add naive_frames nlive))
+        ocs;
+      (* Self-delivery slots, captured before anything advances. *)
+      let selfs =
+        List.map
+          (fun (_, sid, st) ->
+            match !st with
+            | Net.Proto.Step (out, _) -> (sid, out me)
+            | _ -> (sid, None))
+          !live
+      in
+      (* One frame per peer; sessions absent from a bundle were silent. *)
+      let bundles =
+        Array.init n (fun j ->
+            if j = me then [] else Mailbox.take mailboxes.(me).(j) ~round:!round)
+      in
+      (* Deliver each live session's inbox slice and advance it. *)
+      live :=
+        List.filter
+          (fun (idx, sid, st) ->
+            match !st with
+            | Net.Proto.Step (_, k) ->
+                let inbox =
+                  Array.init n (fun s ->
+                      if s = me then List.assoc sid selfs
+                      else List.assoc_opt sid bundles.(s))
+                in
+                sess_rounds.(me).(idx) <- sess_rounds.(me).(idx) + 1;
+                (match strip (k inbox) with
+                | Net.Proto.Done v ->
+                    outputs.(idx).(me) <- Some v;
+                    false
+                | st' ->
+                    st := st';
+                    true)
+            | _ -> false)
+          !live;
+      incr round
+    done;
+    rounds_of.(me) <- !round
+  in
+  let party me () =
+    match party me () with
+    | () -> ()
+    | exception e ->
+        errors.(me) <- Some e;
+        shutdown_party ~n fds me
+  in
+  let threads = Array.init n (fun me -> Thread.create (party me) ()) in
+  Array.iter Thread.join threads;
+  shutdown_mesh ~n fds;
+  List.iter Thread.join receivers;
+  close_mesh ~n fds;
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  let outs =
+    Array.map
+      (Array.map (function
+        | Some v -> v
+        | None -> failwith "Net_unix: missing session output"))
+      outputs
+  in
+  ( outs,
+    {
+      mx_rounds = Array.fold_left max 0 rounds_of;
+      mx_frames = Atomic.get frames;
+      mx_naive_frames = Atomic.get naive_frames;
+      mx_frame_bytes = Atomic.get frame_bytes;
+      mx_payload_bytes = Atomic.get payload_bytes;
+      mx_session_rounds =
+        Array.init count (fun idx ->
+            let m = ref 0 in
+            for me = 0 to n - 1 do
+              m := max !m sess_rounds.(me).(idx)
+            done;
+            !m);
+      mx_session_payload_bytes = Array.map Atomic.get sess_payload;
+      mx_session_msgs = Array.map Atomic.get sess_msgs;
     } )

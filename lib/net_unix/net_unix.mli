@@ -17,7 +17,9 @@
 
     Determinism: protocols are deterministic, so a [Net_unix.run] and a
     [Net.Sim.run] of the same protocol on the same inputs produce identical
-    outputs — asserted by the cross-backend tests. *)
+    outputs — asserted by the cross-backend tests. The same holds
+    session-for-session between {!run_sessions} and the engine's simulator
+    backend ([Engine.run_sim]). *)
 
 type stats = {
   bytes_sent : int;  (** Total payload bytes written by all parties. *)
@@ -33,3 +35,47 @@ val run :
     contexts; no party actually misbehaves. Raises whatever a party's
     protocol raises, and [Failure] on transport-level protocol violations
     (frame from a wrong round, truncated stream). *)
+
+(** {1 Session multiplexing}
+
+    {!run_sessions} runs many independent protocol instances ({e sessions})
+    among the same [n] parties over {e one} socket mesh: each engine round,
+    each ordered pair of parties exchanges a single coalesced {!Wire.Frame}
+    carrying every live session's message, so the per-frame transport cost is
+    paid once per pair per round regardless of how many sessions are live.
+    Sessions are admitted when their start round arrives and retire as they
+    terminate; sessions admitted at different rounds run at independent round
+    offsets inside the shared frames. *)
+
+type multi_stats = {
+  mx_rounds : int;  (** Engine rounds driven (max over parties). *)
+  mx_frames : int;  (** Coalesced frames actually written. *)
+  mx_naive_frames : int;
+      (** Frames a frame-per-session transport would have written: one per
+          live session per ordered pair per round. [mx_naive_frames -
+          mx_frames] is the saving bought by coalescing (negative only when
+          keep-alive rounds with no live session dominate). *)
+  mx_frame_bytes : int;
+      (** Encoded [Wire.Frame] bytes, excluding the u32 transport prefix —
+          comparable across backends. *)
+  mx_payload_bytes : int;  (** Raw session payload bytes inside the frames. *)
+  mx_session_rounds : int array;
+      (** Per session (input order): rounds the session consumed. *)
+  mx_session_payload_bytes : int array;
+      (** Per session: payload bytes sent, self-delivery excluded — matches
+          the simulator's honest-bits accounting ([8 ×] these bytes). *)
+  mx_session_msgs : int array;  (** Per session: non-empty messages sent. *)
+}
+
+val run_sessions :
+  ?t:int ->
+  n:int ->
+  (int * int * (Net.Ctx.t -> 'a Net.Proto.t)) array ->
+  'a array array * multi_stats
+(** [run_sessions ~n sessions] runs every [(sid, start_round, protocol)]
+    session over one shared mesh and returns [outputs] with
+    [outputs.(k).(i)] the output of party [i] in session [k] (input order).
+    Session ids must be distinct and non-negative; start rounds are engine
+    rounds (0-based) and may leave idle gaps, during which empty keep-alive
+    frames maintain round alignment. Raises [Invalid_argument] on malformed
+    session lists, and propagates party failures like {!run}. *)

@@ -139,3 +139,30 @@ let r_bits ?(max_bits = 8 * default_max_bytes) () cur =
   else
     let* packed = take cur ((len + 7) / 8) in
     Bitstring.of_bytes ~len packed
+
+(* Session-multiplexed frames ------------------------------------------------ *)
+
+(* One coalesced frame carries every live session's round-[r] message between
+   an ordered pair of parties:
+
+     frame := varint round, varint count, count x (varint sid, bytes payload)
+
+   Silent sessions are absent; the receiver fills their inbox slot with None. *)
+module Frame = struct
+  type t = { round : int; entries : (int * string) list }
+
+  let max_sessions = 65536
+
+  let encode { round; entries } =
+    encode (seq [ w_varint round; w_list (w_pair w_varint w_bytes) entries ])
+
+  let decode s =
+    decode_full
+      (fun cur ->
+        let* round = r_varint cur in
+        let* entries =
+          r_list ~max:max_sessions (r_pair r_varint (r_bytes ())) cur
+        in
+        Some { round; entries })
+      s
+end

@@ -73,3 +73,29 @@ val r_bits : ?max_bits:int -> unit -> Bitstring.t reader
 val ( let* ) : 'a option -> ('a -> 'b option) -> 'b option
 (** Option bind, exposed because hand-written message decoders read better
     with it. *)
+
+(** {1 Session-multiplexed frames}
+
+    The session engine ([Engine], [Net_unix.run_sessions]) coalesces all live
+    sessions' round-[r] traffic between one ordered pair of parties into a
+    single frame, so per-frame transport cost (syscall, header) is paid once
+    per pair per round instead of once per session. A session that is silent
+    towards the recipient this round is simply absent from the entry list —
+    absence decodes as [None] in that session's inbox slot. *)
+
+module Frame : sig
+  type t = {
+    round : int;  (** Engine round the frame belongs to (0-based). *)
+    entries : (int * string) list;
+        (** [(session id, payload)] for every session with traffic, in the
+            engine's admission order. *)
+  }
+
+  val max_sessions : int
+  (** Bound on entries per frame enforced by the decoder. *)
+
+  val encode : t -> string
+
+  val decode : string -> t option
+  (** Total: [None] on any malformation, like every decoder in this module. *)
+end

@@ -32,5 +32,6 @@ let () =
       ("lemma_blocks", Test_lemma_blocks.suite);
       ("vector", Test_vector.suite);
       ("parallel", Test_parallel.suite);
+      ("engine", Test_engine.suite);
       ("edges", Test_edges.suite);
     ]

@@ -83,11 +83,45 @@ let prop_list_roundtrip =
       decode_full (r_list (r_pair r_varint (r_bytes ()))) (encode (w_list (w_pair w_varint w_bytes) l))
       = Some l)
 
+let test_session_frame () =
+  let frame =
+    { Wire.Frame.round = 42; entries = [ (0, "alpha"); (7, ""); (3, "beta") ] }
+  in
+  (match Wire.Frame.decode (Wire.Frame.encode frame) with
+  | Some f ->
+      Alcotest.check Alcotest.int "round" 42 f.Wire.Frame.round;
+      Alcotest.check
+        (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+        "entries preserve order" frame.Wire.Frame.entries f.Wire.Frame.entries
+  | None -> Alcotest.fail "frame roundtrip");
+  (* Empty keep-alive frames are tiny and roundtrip too. *)
+  let empty = { Wire.Frame.round = 0; entries = [] } in
+  Alcotest.check Alcotest.int "empty frame is 2 bytes" 2
+    (String.length (Wire.Frame.encode empty));
+  Alcotest.check Alcotest.bool "empty roundtrip" true
+    (Wire.Frame.decode (Wire.Frame.encode empty) = Some empty);
+  (* Defensive: garbage and truncations decode to None, never raise. *)
+  List.iter
+    (fun s ->
+      match Wire.Frame.decode s with
+      | Some _ | None -> ())
+    [ ""; "\xff"; "\x01\x05"; String.make 64 '\xee' ];
+  Alcotest.check Alcotest.bool "truncated entry rejected" true
+    (Wire.Frame.decode "\x00\x01\x03\x05ab" = None)
+
+let prop_session_frame_roundtrip =
+  QCheck.Test.make ~name:"session frame roundtrip" ~count:200
+    QCheck.(pair small_nat (small_list (pair small_nat string)))
+    (fun (round, entries) ->
+      Wire.Frame.(decode (encode { round; entries })) = Some { Wire.Frame.round; entries })
+
 let suite =
   [
     Alcotest.test_case "scalars" `Quick test_scalars;
     Alcotest.test_case "composites" `Quick test_composites;
     Alcotest.test_case "adversarial bytes" `Quick test_adversarial;
+    Alcotest.test_case "session frames" `Quick test_session_frame;
+    QCheck_alcotest.to_alcotest prop_session_frame_roundtrip;
     QCheck_alcotest.to_alcotest prop_varint_roundtrip;
     QCheck_alcotest.to_alcotest prop_bytes_roundtrip;
     QCheck_alcotest.to_alcotest prop_random_bytes_never_crash;
