@@ -8,7 +8,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build fmt test check bench clean
+.PHONY: all build fmt test check bench bench-smoke clean
 
 all: build
 
@@ -25,11 +25,18 @@ fmt:
 test:
 	$(DUNE) runtest
 
-check: build fmt test
+# The smoke pass runs every bench experiment at tiny parameters (no JSON
+# writes) so the harness itself is covered by the tier-1 gate.
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- --smoke
+
+check: build fmt test bench-smoke
 	@echo "[check] tier-1 gate passed"
 
+# Full benchmark run, built with the optimizing release profile (see the
+# root dune file); regenerates the BENCH_*.json ledgers.
 bench:
-	$(DUNE) exec bench/main.exe
+	$(DUNE) exec --profile release bench/main.exe
 
 clean:
 	$(DUNE) clean

@@ -40,8 +40,11 @@ let harvest ~n ~z_star ~into inbox =
 let run (ctx : Ctx.t) input =
   let n = ctx.Ctx.n in
   let k = Ctx.quorum ctx in
+  (* One memoized codec context per (n, k) serves every FINDPREFIX iteration
+     and every concurrent session at these parameters. *)
+  let codec = Reed_solomon.ctx ~n ~k in
   (* Step 1: erasure-code the input and commit to the codewords. *)
-  let codewords = Reed_solomon.encode ~n ~k input in
+  let codewords = Reed_solomon.encode_with codec input in
   let tree = Merkle.build codewords in
   let z = Merkle.root tree in
   (* Step 2: agree on a root. *)
@@ -77,6 +80,6 @@ let run (ctx : Ctx.t) input =
          let collected =
            Hashtbl.fold (fun index (codeword, _) acc -> (index, codeword) :: acc) shares []
          in
-         match Reed_solomon.decode ~n ~k collected with
+         match Reed_solomon.decode_with codec collected with
          | Ok value -> Proto.return (Some value)
          | Error _ -> Proto.return None)

@@ -54,6 +54,28 @@ let exp i =
   let i = ((i mod 65535) + 65535) mod 65535 in
   exp_table.(i)
 
+(* ---- unchecked hot-loop kernels ----------------------------------------- *)
+
+let mul_unsafe a b =
+  if a = 0 || b = 0 then 0
+  else
+    Array.unsafe_get exp_table
+      (Array.unsafe_get log_table a + Array.unsafe_get log_table b)
+
+let dot ~coeff_logs ~pos ~ys ~k =
+  let acc = ref 0 in
+  for j = 0 to k - 1 do
+    let cl = Array.unsafe_get coeff_logs (pos + j) in
+    if cl >= 0 then begin
+      let y = Array.unsafe_get ys j in
+      if y <> 0 then
+        acc :=
+          !acc
+          lxor Array.unsafe_get exp_table (cl + Array.unsafe_get log_table y)
+    end
+  done;
+  !acc
+
 let log a =
   check a;
   if a = 0 then invalid_arg "Gf65536.log 0";

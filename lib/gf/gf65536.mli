@@ -30,3 +30,20 @@ val exp : int -> t
 
 val log : t -> int
 (** Discrete log base the generator. Raises [Invalid_argument] on [log 0]. *)
+
+(** {2 Unchecked hot-loop kernels}
+
+    Inner-loop primitives for the Reed–Solomon codec: no range checks, no
+    allocation. Callers must uphold the element invariant themselves; the
+    checked API above remains the default. *)
+
+val mul_unsafe : t -> t -> t
+(** [mul a b] without range checks. Behaviour is undefined outside
+    [0, 0xffff]. *)
+
+val dot : coeff_logs:int array -> pos:int -> ys:int array -> k:int -> t
+(** Log-domain dot product: XOR over [j < k] of
+    [exp (coeff_logs.(pos + j) + log ys.(j))], where a coefficient log of
+    [-1] encodes the zero coefficient and zero [ys] entries are skipped.
+    Unchecked: [coeff_logs] entries must be [-1] or in [0, 65534], [ys]
+    entries valid field elements, and the ranges in bounds. *)

@@ -1,18 +1,26 @@
 (* The leaf count is padded to the next power of two with a distinguished
    empty-leaf digest, so every authentication path has the same length
-   ceil(log2 n) and verification needs only the index and the path. *)
+   ceil(log2 n) and verification needs only the index and the path.
+
+   Hot path: levels are flat Bytes arrays of packed 32-byte digests and every
+   hash goes through one reused streaming context ([reset] / [feed_*] /
+   [finalize_into]), so a build allocates only the level buffers — no
+   per-node "\x01" ^ l ^ r concatenations. Digests are bit-identical to the
+   seed's string-concat formulation (same "\x00"/"\x01"/"\x02" domain
+   separation), which the differential tests assert. *)
 
 type root = string
 type witness = { path : string list (* sibling hashes, leaf level first *) }
 
+let dsize = Sha256.digest_size
+
 type tree = {
   leaves : int; (* real leaf count *)
   padded : int; (* power of two *)
-  levels : string array array; (* levels.(0) = leaf digests, last = [| root |] *)
+  levels : Bytes.t array;
+      (* levels.(l) packs (padded lsr l) digests; the last holds the root *)
 }
 
-let hash_leaf v = Sha256.digest ("\x00" ^ v)
-let hash_node l r = Sha256.digest ("\x01" ^ l ^ r)
 let empty_leaf = Sha256.digest "\x02"
 
 let next_pow2 n =
@@ -23,21 +31,34 @@ let build values =
   let leaves = Array.length values in
   if leaves = 0 then invalid_arg "Merkle.build: empty";
   let padded = next_pow2 leaves in
-  let level0 =
-    Array.init padded (fun i -> if i < leaves then hash_leaf values.(i) else empty_leaf)
+  let depth =
+    let rec go d p = if p = 1 then d else go (d + 1) (p / 2) in
+    go 0 padded
   in
-  let rec up acc level =
-    if Array.length level = 1 then List.rev (level :: acc)
-    else
-      let next =
-        Array.init (Array.length level / 2) (fun i ->
-            hash_node level.(2 * i) level.((2 * i) + 1))
-      in
-      up (level :: acc) next
-  in
-  { leaves; padded; levels = Array.of_list (up [] level0) }
+  let levels = Array.init (depth + 1) (fun l -> Bytes.create ((padded lsr l) * dsize)) in
+  let ctx = Sha256.init () in
+  let level0 = levels.(0) in
+  for i = 0 to leaves - 1 do
+    Sha256.reset ctx;
+    Sha256.feed_byte ctx 0x00;
+    Sha256.feed ctx values.(i);
+    Sha256.finalize_into ctx level0 ~pos:(i * dsize)
+  done;
+  for i = leaves to padded - 1 do
+    Bytes.blit_string empty_leaf 0 level0 (i * dsize) dsize
+  done;
+  for l = 1 to depth do
+    let below = levels.(l - 1) and here = levels.(l) in
+    for i = 0 to (padded lsr l) - 1 do
+      Sha256.reset ctx;
+      Sha256.feed_byte ctx 0x01;
+      Sha256.feed_bytes ctx below ~pos:(2 * i * dsize) ~len:(2 * dsize);
+      Sha256.finalize_into ctx here ~pos:(i * dsize)
+    done
+  done;
+  { leaves; padded; levels }
 
-let root t = t.levels.(Array.length t.levels - 1).(0)
+let root t = Bytes.to_string t.levels.(Array.length t.levels - 1)
 let leaf_count t = t.leaves
 
 let witness t i =
@@ -45,23 +66,41 @@ let witness t i =
   let rec go level idx acc =
     if level >= Array.length t.levels - 1 then List.rev acc
     else
-      let sibling = t.levels.(level).(idx lxor 1) in
+      let sibling = Bytes.sub_string t.levels.(level) ((idx lxor 1) * dsize) dsize in
       go (level + 1) (idx / 2) (sibling :: acc)
   in
   { path = go 0 i [] }
 
 let verify ~root ~index ~value w =
   if index < 0 then false
-  else
-    let rec go idx h = function
-      | [] -> idx = 0 && String.equal h root
+  else begin
+    (* One context and one scratch digest, reused up the path. *)
+    let ctx = Sha256.init () in
+    let h = Bytes.create dsize in
+    Sha256.feed_byte ctx 0x00;
+    Sha256.feed ctx value;
+    Sha256.finalize_into ctx h ~pos:0;
+    let rec go idx = function
+      | [] -> idx = 0 && String.equal (Bytes.unsafe_to_string h) root
       | sib :: rest ->
-          if String.length sib <> Sha256.digest_size then false
-          else
-            let h' = if idx land 1 = 0 then hash_node h sib else hash_node sib h in
-            go (idx / 2) h' rest
+          if String.length sib <> dsize then false
+          else begin
+            Sha256.reset ctx;
+            Sha256.feed_byte ctx 0x01;
+            if idx land 1 = 0 then begin
+              Sha256.feed_bytes ctx h ~pos:0 ~len:dsize;
+              Sha256.feed ctx sib
+            end
+            else begin
+              Sha256.feed ctx sib;
+              Sha256.feed_bytes ctx h ~pos:0 ~len:dsize
+            end;
+            Sha256.finalize_into ctx h ~pos:0;
+            go (idx / 2) rest
+          end
     in
-    go index (hash_leaf value) w.path
+    go index w.path
+  end
 
 let witness_size_bits w = 8 * (1 + (Sha256.digest_size * List.length w.path))
 

@@ -1,10 +1,20 @@
-(* Systematic RS over GF(2^16) with evaluation points 0..n-1.
+(* Systematic RS over GF(2^16) with evaluation points 0..n-1, matrix form.
 
-   Framing: the message is prefixed with its 32-bit big-endian byte length,
-   zero-padded to a multiple of 2k bytes, and viewed as [stripes] rows of k
-   16-bit symbols. Row r defines the unique polynomial p_r of degree < k with
-   p_r(j) = symbol j of row r for j < k; codeword i is the column of
-   evaluations (p_0(i), ..., p_{stripes-1}(i)) packed big-endian. *)
+   Same framing as [Reed_solomon_ref] (32-bit big-endian length prefix, zero
+   padding to a multiple of 2k bytes, row-major 16-bit symbols) and
+   bit-identical codewords — the differential suite in test_reed_solomon
+   enforces this. The speed comes from hoisting all polynomial work out of
+   the per-stripe loop:
+
+   - [encode]: a per-(n, k) context holds the log-domain Lagrange *encoding
+     matrix* — row i-k lists log L_j(i) for each parity point i — computed
+     once and memoized process-wide, so each parity symbol is a k-term
+     table-driven dot product ({!Gf65536.dot}) instead of a barycentric
+     evaluation. Systematic symbols are straight copies.
+
+   - [decode]: the interpolation matrix for the selected share set (log
+     L_j(col) over the share abscissae, for each message column) is computed
+     once per call, then reused across every stripe. *)
 
 module Gf = Gf65536
 
@@ -18,41 +28,6 @@ let codeword_bytes ~k ~msg_bytes =
 let check_params ~n ~k =
   if k < 1 || n < k || n >= 65536 then invalid_arg "Reed_solomon: bad (n, k)"
 
-(* Symbol [r] of the framed+padded message for a given column [j]. *)
-let framed_symbol msg ~stripe ~col ~k =
-  let byte idx =
-    if idx < header_bytes then (String.length msg lsr (8 * (3 - idx))) land 0xff
-    else
-      let i = idx - header_bytes in
-      if i < String.length msg then Char.code msg.[i] else 0
-  in
-  let pos = 2 * ((stripe * k) + col) in
-  (byte pos lsl 8) lor byte (pos + 1)
-
-(* Barycentric-style Lagrange evaluation: given k points (xs.(j), ys.(j)) with
-   distinct xs, evaluate the interpolating polynomial at [x]. [ws] are the
-   precomputed inverse weights 1 / prod_{m<>j} (xs.(j) - xs.(m)). *)
-let lagrange_eval ~xs ~ws ~ys ~k x =
-  let direct = ref (-1) in
-  for j = 0 to k - 1 do
-    if xs.(j) = x then direct := j
-  done;
-  if !direct >= 0 then ys.(!direct)
-  else begin
-    (* full = prod_m (x - xs.(m)); term_j = ys_j * ws_j * full / (x - xs_j) *)
-    let full = ref Gf.one in
-    for m = 0 to k - 1 do
-      full := Gf.mul !full (Gf.sub x xs.(m))
-    done;
-    let acc = ref Gf.zero in
-    for j = 0 to k - 1 do
-      let denom = Gf.sub x xs.(j) in
-      let term = Gf.mul ys.(j) (Gf.mul ws.(j) (Gf.div !full denom)) in
-      acc := Gf.add !acc term
-    done;
-    !acc
-  end
-
 let inverse_weights xs k =
   Array.init k (fun j ->
       let prod = ref Gf.one in
@@ -61,28 +36,100 @@ let inverse_weights xs k =
       done;
       Gf.inv !prod)
 
-let encode ~n ~k msg =
-  check_params ~n ~k;
-  let cw_bytes = codeword_bytes ~k ~msg_bytes:(String.length msg) in
-  let stripes = cw_bytes / 2 in
+(* Write log L_j(x) for j < k into [row.(pos + j)], where L_j is the Lagrange
+   basis over the nodes [xs] (with precomputed inverse weights [ws]); -1
+   encodes the zero coefficient. At a node, the row is a unit vector. *)
+let coeff_logs_at ~xs ~ws ~k x row pos =
+  let direct = ref (-1) in
+  for j = 0 to k - 1 do
+    if xs.(j) = x then direct := j
+  done;
+  if !direct >= 0 then begin
+    Array.fill row pos k (-1);
+    row.(pos + !direct) <- 0
+  end
+  else begin
+    let full = ref Gf.one in
+    for m = 0 to k - 1 do
+      full := Gf.mul !full (Gf.sub x xs.(m))
+    done;
+    for j = 0 to k - 1 do
+      let c = Gf.mul ws.(j) (Gf.div !full (Gf.sub x xs.(j))) in
+      row.(pos + j) <- (if c = 0 then -1 else Gf.log c)
+    done
+  end
+
+type ctx = {
+  ctx_n : int;
+  ctx_k : int;
+  (* enc_logs.(((i - k) * k) + j) = log L_j(i) for parity point i in [k, n). *)
+  enc_logs : int array;
+}
+
+let make_ctx ~n ~k =
   let xs = Array.init k (fun j -> j) in
   let ws = inverse_weights xs k in
+  let enc_logs = Array.make ((n - k) * k) (-1) in
+  for i = k to n - 1 do
+    coeff_logs_at ~xs ~ws ~k i enc_logs ((i - k) * k)
+  done;
+  { ctx_n = n; ctx_k = k; enc_logs }
+
+(* Process-wide (n, k) -> ctx memo. Lock-free CAS on an immutable list: a
+   losing race recomputes an identical context, which is harmless — contexts
+   are deterministic functions of (n, k). *)
+let memo : ((int * int) * ctx) list Atomic.t = Atomic.make []
+
+let rec ctx ~n ~k =
+  check_params ~n ~k;
+  let cached = Atomic.get memo in
+  match List.assoc_opt (n, k) cached with
+  | Some c -> c
+  | None ->
+      let c = make_ctx ~n ~k in
+      if Atomic.compare_and_set memo cached (((n, k), c) :: cached) then c
+      else ctx ~n ~k
+
+let put_symbol buf pos v =
+  Bytes.unsafe_set buf pos (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set buf (pos + 1) (Char.unsafe_chr (v land 0xff))
+
+let get_symbol buf pos =
+  (Char.code (Bytes.unsafe_get buf pos) lsl 8)
+  lor Char.code (Bytes.unsafe_get buf (pos + 1))
+
+let encode_with c msg =
+  let n = c.ctx_n and k = c.ctx_k in
+  let msg_bytes = String.length msg in
+  let cw_bytes = codeword_bytes ~k ~msg_bytes in
+  let stripes = cw_bytes / 2 in
+  (* Framed + padded message, laid out exactly as the reference reads it:
+     symbol (stripe r, col j) at byte 2 * (r * k + j). *)
+  let framed = Bytes.make (2 * stripes * k) '\000' in
+  Bytes.set framed 0 (Char.chr ((msg_bytes lsr 24) land 0xff));
+  Bytes.set framed 1 (Char.chr ((msg_bytes lsr 16) land 0xff));
+  Bytes.set framed 2 (Char.chr ((msg_bytes lsr 8) land 0xff));
+  Bytes.set framed 3 (Char.chr (msg_bytes land 0xff));
+  Bytes.blit_string msg 0 framed header_bytes msg_bytes;
   let out = Array.init n (fun _ -> Bytes.create cw_bytes) in
   let ys = Array.make k 0 in
   for r = 0 to stripes - 1 do
+    let base = 2 * r * k in
     for j = 0 to k - 1 do
-      ys.(j) <- framed_symbol msg ~stripe:r ~col:j ~k
+      ys.(j) <- get_symbol framed (base + (2 * j));
+      put_symbol out.(j) (2 * r) ys.(j)
     done;
-    for i = 0 to n - 1 do
-      let v = if i < k then ys.(i) else lagrange_eval ~xs ~ws ~ys ~k i in
-      Bytes.set out.(i) (2 * r) (Char.chr ((v lsr 8) land 0xff));
-      Bytes.set out.(i) ((2 * r) + 1) (Char.chr (v land 0xff))
+    for i = k to n - 1 do
+      put_symbol out.(i) (2 * r)
+        (Gf.dot ~coeff_logs:c.enc_logs ~pos:((i - k) * k) ~ys ~k)
     done
   done;
   Array.map Bytes.unsafe_to_string out
 
-let decode ~n ~k shares =
-  check_params ~n ~k;
+let encode ~n ~k msg = encode_with (ctx ~n ~k) msg
+
+let decode_with c shares =
+  let n = c.ctx_n and k = c.ctx_k in
   (* Keep the first share per distinct valid index, up to k of them. *)
   let seen = Hashtbl.create 16 in
   let selected =
@@ -100,24 +147,29 @@ let decode ~n ~k shares =
     let selected = Array.of_list selected in
     let cw_bytes = String.length (snd selected.(0)) in
     if cw_bytes = 0 || cw_bytes mod 2 <> 0 then Error "bad codeword length"
-    else if Array.exists (fun (_, s) -> String.length s <> cw_bytes) selected then
-      Error "inconsistent codeword lengths"
+    else if Array.exists (fun (_, s) -> String.length s <> cw_bytes) selected
+    then Error "inconsistent codeword lengths"
     else begin
       let stripes = cw_bytes / 2 in
       let xs = Array.map fst selected in
       let ws = inverse_weights xs k in
+      (* Interpolation matrix for this share set: row col lists log L_j(col)
+         over the share abscissae, computed once for all stripes. *)
+      let dec_logs = Array.make (k * k) (-1) in
+      for col = 0 to k - 1 do
+        coeff_logs_at ~xs ~ws ~k col dec_logs (col * k)
+      done;
+      let cws = Array.map snd selected in
       let ys = Array.make k 0 in
-      (* Recover the framed message column by column. *)
       let framed = Bytes.create (2 * stripes * k) in
       for r = 0 to stripes - 1 do
         for j = 0 to k - 1 do
-          let s = snd selected.(j) in
-          ys.(j) <- (Char.code s.[2 * r] lsl 8) lor Char.code s.[(2 * r) + 1]
+          ys.(j) <- get_symbol (Bytes.unsafe_of_string cws.(j)) (2 * r)
         done;
         for col = 0 to k - 1 do
-          let v = lagrange_eval ~xs ~ws ~ys ~k col in
-          Bytes.set framed (2 * ((r * k) + col)) (Char.chr ((v lsr 8) land 0xff));
-          Bytes.set framed ((2 * ((r * k) + col)) + 1) (Char.chr (v land 0xff))
+          put_symbol framed
+            (2 * ((r * k) + col))
+            (Gf.dot ~coeff_logs:dec_logs ~pos:(col * k) ~ys ~k)
         done
       done;
       if Bytes.length framed < header_bytes then Error "short frame"
@@ -131,3 +183,5 @@ let decode ~n ~k shares =
         if len > Bytes.length framed - header_bytes then Error "bad length header"
         else Ok (Bytes.sub_string framed header_bytes len)
     end
+
+let decode ~n ~k shares = decode_with (ctx ~n ~k) shares

@@ -6,13 +6,38 @@
     exactly. Encoding is systematic: the first [k] codewords carry the (length
     framed, zero padded) message symbols.
 
+    This is the matrix-form codec: parity symbols are table-driven dot
+    products against a precomputed log-domain Lagrange encoding matrix held
+    in a per-(n, k) {!ctx} (memoized process-wide), and decoding reuses one
+    interpolation matrix per share set across all stripes. Codewords are
+    bit-identical to the reference path {!Reed_solomon_ref} — contexts are
+    deterministic precomputation and never change wire bytes.
+
     Erasure decoding suffices for the protocol: corrupted codewords are
     detected and discarded via Merkle witnesses before decoding, exactly as in
     the paper, so [decode] receives only index-authenticated codewords. *)
 
+type ctx
+(** Precomputed codec context for one (n, k): the log-domain encoding matrix
+    (one row of k coefficient logs per parity point). Immutable and safe to
+    share across threads and sessions. *)
+
+val ctx : n:int -> k:int -> ctx
+(** Memoized: the first call per (n, k) builds the encoding matrix in
+    O(nk + k²) field operations; later calls are a list lookup. Raises
+    [Invalid_argument] unless [1 <= k <= n < 65536]. *)
+
+val encode_with : ctx -> string -> string array
+(** [encode] with an explicit context — the hot-path entry point for callers
+    that encode repeatedly at one (n, k). *)
+
+val decode_with : ctx -> (int * string) list -> (string, string) result
+(** [decode] with an explicit context. *)
+
 val encode : n:int -> k:int -> string -> string array
 (** Raises [Invalid_argument] unless [1 <= k <= n < 65536]. All returned
-    codewords have equal length [codeword_bytes ~k ~msg_bytes:(length v)]. *)
+    codewords have equal length [codeword_bytes ~k ~msg_bytes:(length v)].
+    Equivalent to [encode_with (ctx ~n ~k)]. *)
 
 val decode : n:int -> k:int -> (int * string) list -> (string, string) result
 (** [decode ~n ~k shares] reconstructs the original value from at least [k]

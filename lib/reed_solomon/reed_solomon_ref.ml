@@ -1,0 +1,136 @@
+(* Reference implementation of the systematic RS codec: full barycentric
+   Lagrange evaluation per output symbol. Kept verbatim from the seed for
+   differential testing against the matrix-form codec in [Reed_solomon],
+   which must be bit-identical to it (same framing, same wire bytes).
+
+   Framing: the message is prefixed with its 32-bit big-endian byte length,
+   zero-padded to a multiple of 2k bytes, and viewed as [stripes] rows of k
+   16-bit symbols. Row r defines the unique polynomial p_r of degree < k with
+   p_r(j) = symbol j of row r for j < k; codeword i is the column of
+   evaluations (p_0(i), ..., p_{stripes-1}(i)) packed big-endian. *)
+
+module Gf = Gf65536
+
+let header_bytes = 4
+
+let codeword_bytes ~k ~msg_bytes =
+  let framed = header_bytes + msg_bytes in
+  let stripes = (framed + (2 * k) - 1) / (2 * k) in
+  2 * stripes
+
+let check_params ~n ~k =
+  if k < 1 || n < k || n >= 65536 then invalid_arg "Reed_solomon: bad (n, k)"
+
+(* Symbol [r] of the framed+padded message for a given column [j]. *)
+let framed_symbol msg ~stripe ~col ~k =
+  let byte idx =
+    if idx < header_bytes then (String.length msg lsr (8 * (3 - idx))) land 0xff
+    else
+      let i = idx - header_bytes in
+      if i < String.length msg then Char.code msg.[i] else 0
+  in
+  let pos = 2 * ((stripe * k) + col) in
+  (byte pos lsl 8) lor byte (pos + 1)
+
+(* Barycentric-style Lagrange evaluation: given k points (xs.(j), ys.(j)) with
+   distinct xs, evaluate the interpolating polynomial at [x]. [ws] are the
+   precomputed inverse weights 1 / prod_{m<>j} (xs.(j) - xs.(m)). *)
+let lagrange_eval ~xs ~ws ~ys ~k x =
+  let direct = ref (-1) in
+  for j = 0 to k - 1 do
+    if xs.(j) = x then direct := j
+  done;
+  if !direct >= 0 then ys.(!direct)
+  else begin
+    (* full = prod_m (x - xs.(m)); term_j = ys_j * ws_j * full / (x - xs_j) *)
+    let full = ref Gf.one in
+    for m = 0 to k - 1 do
+      full := Gf.mul !full (Gf.sub x xs.(m))
+    done;
+    let acc = ref Gf.zero in
+    for j = 0 to k - 1 do
+      let denom = Gf.sub x xs.(j) in
+      let term = Gf.mul ys.(j) (Gf.mul ws.(j) (Gf.div !full denom)) in
+      acc := Gf.add !acc term
+    done;
+    !acc
+  end
+
+let inverse_weights xs k =
+  Array.init k (fun j ->
+      let prod = ref Gf.one in
+      for m = 0 to k - 1 do
+        if m <> j then prod := Gf.mul !prod (Gf.sub xs.(j) xs.(m))
+      done;
+      Gf.inv !prod)
+
+let encode ~n ~k msg =
+  check_params ~n ~k;
+  let cw_bytes = codeword_bytes ~k ~msg_bytes:(String.length msg) in
+  let stripes = cw_bytes / 2 in
+  let xs = Array.init k (fun j -> j) in
+  let ws = inverse_weights xs k in
+  let out = Array.init n (fun _ -> Bytes.create cw_bytes) in
+  let ys = Array.make k 0 in
+  for r = 0 to stripes - 1 do
+    for j = 0 to k - 1 do
+      ys.(j) <- framed_symbol msg ~stripe:r ~col:j ~k
+    done;
+    for i = 0 to n - 1 do
+      let v = if i < k then ys.(i) else lagrange_eval ~xs ~ws ~ys ~k i in
+      Bytes.set out.(i) (2 * r) (Char.chr ((v lsr 8) land 0xff));
+      Bytes.set out.(i) ((2 * r) + 1) (Char.chr (v land 0xff))
+    done
+  done;
+  Array.map Bytes.unsafe_to_string out
+
+let decode ~n ~k shares =
+  check_params ~n ~k;
+  (* Keep the first share per distinct valid index, up to k of them. *)
+  let seen = Hashtbl.create 16 in
+  let selected =
+    List.filter
+      (fun (i, _) ->
+        if i < 0 || i >= n || Hashtbl.mem seen i then false
+        else begin
+          Hashtbl.add seen i ();
+          Hashtbl.length seen <= k
+        end)
+      shares
+  in
+  if List.length selected < k then Error "too few distinct shares"
+  else
+    let selected = Array.of_list selected in
+    let cw_bytes = String.length (snd selected.(0)) in
+    if cw_bytes = 0 || cw_bytes mod 2 <> 0 then Error "bad codeword length"
+    else if Array.exists (fun (_, s) -> String.length s <> cw_bytes) selected then
+      Error "inconsistent codeword lengths"
+    else begin
+      let stripes = cw_bytes / 2 in
+      let xs = Array.map fst selected in
+      let ws = inverse_weights xs k in
+      let ys = Array.make k 0 in
+      (* Recover the framed message column by column. *)
+      let framed = Bytes.create (2 * stripes * k) in
+      for r = 0 to stripes - 1 do
+        for j = 0 to k - 1 do
+          let s = snd selected.(j) in
+          ys.(j) <- (Char.code s.[2 * r] lsl 8) lor Char.code s.[(2 * r) + 1]
+        done;
+        for col = 0 to k - 1 do
+          let v = lagrange_eval ~xs ~ws ~ys ~k col in
+          Bytes.set framed (2 * ((r * k) + col)) (Char.chr ((v lsr 8) land 0xff));
+          Bytes.set framed ((2 * ((r * k) + col)) + 1) (Char.chr (v land 0xff))
+        done
+      done;
+      if Bytes.length framed < header_bytes then Error "short frame"
+      else
+        let len =
+          (Char.code (Bytes.get framed 0) lsl 24)
+          lor (Char.code (Bytes.get framed 1) lsl 16)
+          lor (Char.code (Bytes.get framed 2) lsl 8)
+          lor Char.code (Bytes.get framed 3)
+        in
+        if len > Bytes.length framed - header_bytes then Error "bad length header"
+        else Ok (Bytes.sub_string framed header_bytes len)
+    end

@@ -35,6 +35,19 @@ type ctx = {
   w : int array; (* 64-entry message schedule, reused across blocks *)
 }
 
+let reset ctx =
+  ctx.h0 <- 0x6a09e667;
+  ctx.h1 <- 0xbb67ae85;
+  ctx.h2 <- 0x3c6ef372;
+  ctx.h3 <- 0xa54ff53a;
+  ctx.h4 <- 0x510e527f;
+  ctx.h5 <- 0x9b05688c;
+  ctx.h6 <- 0x1f83d9ab;
+  ctx.h7 <- 0x5be0cd19;
+  ctx.fill <- 0;
+  ctx.total <- 0;
+  ctx.finished <- false
+
 let init () =
   {
     h0 = 0x6a09e667;
@@ -102,24 +115,41 @@ let compress ctx =
   ctx.h6 <- (ctx.h6 + !g) land mask;
   ctx.h7 <- (ctx.h7 + !h) land mask
 
-let feed ctx s =
+let feed_bytes ctx b ~pos ~len =
   if ctx.finished then invalid_arg "Sha256.feed: finalized context";
-  let len = String.length s in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Sha256.feed_bytes: out of range";
   ctx.total <- ctx.total + len;
-  let pos = ref 0 in
-  while !pos < len do
-    let take = min (64 - ctx.fill) (len - !pos) in
-    Bytes.blit_string s !pos ctx.block ctx.fill take;
+  let pos = ref pos and left = ref len in
+  while !left > 0 do
+    let take = min (64 - ctx.fill) !left in
+    Bytes.blit b !pos ctx.block ctx.fill take;
     ctx.fill <- ctx.fill + take;
     pos := !pos + take;
+    left := !left - take;
     if ctx.fill = 64 then begin
       compress ctx;
       ctx.fill <- 0
     end
   done
 
-let finalize ctx =
+let feed ctx s =
+  feed_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let feed_byte ctx b =
+  if ctx.finished then invalid_arg "Sha256.feed: finalized context";
+  ctx.total <- ctx.total + 1;
+  Bytes.unsafe_set ctx.block ctx.fill (Char.unsafe_chr (b land 0xff));
+  ctx.fill <- ctx.fill + 1;
+  if ctx.fill = 64 then begin
+    compress ctx;
+    ctx.fill <- 0
+  end
+
+let finalize_into ctx out ~pos =
   if ctx.finished then invalid_arg "Sha256.finalize: finalized context";
+  if pos < 0 || pos + 32 > Bytes.length out then
+    invalid_arg "Sha256.finalize_into: out of range";
   ctx.finished <- true;
   let total_bits = ctx.total * 8 in
   (* Padding: 0x80, zeros, 64-bit big-endian length. *)
@@ -135,12 +165,11 @@ let finalize ctx =
     Bytes.set ctx.block (56 + i) (Char.chr ((total_bits lsr (8 * (7 - i))) land 0xff))
   done;
   compress ctx;
-  let out = Bytes.create 32 in
   let put i v =
-    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xff));
-    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xff));
-    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xff));
-    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xff))
+    Bytes.set out (pos + (4 * i)) (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set out (pos + (4 * i) + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out (pos + (4 * i) + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out (pos + (4 * i) + 3) (Char.chr (v land 0xff))
   in
   put 0 ctx.h0;
   put 1 ctx.h1;
@@ -149,7 +178,11 @@ let finalize ctx =
   put 4 ctx.h4;
   put 5 ctx.h5;
   put 6 ctx.h6;
-  put 7 ctx.h7;
+  put 7 ctx.h7
+
+let finalize ctx =
+  let out = Bytes.create 32 in
+  finalize_into ctx out ~pos:0;
   Bytes.unsafe_to_string out
 
 let digest s =

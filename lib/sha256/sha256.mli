@@ -24,4 +24,26 @@ type ctx
 val init : unit -> ctx
 val feed : ctx -> string -> unit
 val finalize : ctx -> string
-(** May be called once; the context must not be reused afterwards. *)
+(** May be called once; the context must not be reused afterwards (except via
+    {!reset}). *)
+
+(** {2 Allocation-free hot path}
+
+    Merkle building hashes millions of tiny leaf/node records; these entry
+    points let one context be reused across digests with zero per-digest
+    allocation: [reset; feed_*; finalize_into]. *)
+
+val reset : ctx -> unit
+(** Return a context (finalized or not) to the pristine [init] state. *)
+
+val feed_byte : ctx -> int -> unit
+(** Feed one byte (the low 8 bits of the argument). *)
+
+val feed_bytes : ctx -> Bytes.t -> pos:int -> len:int -> unit
+(** Feed [len] bytes of [b] starting at [pos]. The range is validated; the
+    bytes are copied before returning, so the caller may mutate [b] after.
+    Raises [Invalid_argument] on an out-of-range slice. *)
+
+val finalize_into : ctx -> Bytes.t -> pos:int -> unit
+(** Write the 32-byte digest at [out.(pos)] without allocating. Same
+    single-use contract as {!finalize}; {!reset} re-arms the context. *)

@@ -196,6 +196,17 @@ let test_64_sessions_cross_backend () =
     sim.Engine.aggregate.Engine.frames_sent unix.Engine.aggregate.Engine.frames_sent;
   Alcotest.check Alcotest.int "frame bytes sim = unix"
     sim.Engine.aggregate.Engine.frame_bytes unix.Engine.aggregate.Engine.frame_bytes;
+  (* The full ledger must agree, naive-transport accounting included: same
+     workload => same per-round live/stepping sets => same counterfactual
+     frame count (this is the invariant behind BENCH_engine's sim-honest
+     row; the adversarial sim rows run a *different* workload and may
+     legitimately differ). *)
+  Alcotest.check Alcotest.int "naive frames sim = unix"
+    sim.Engine.aggregate.Engine.naive_frames
+    unix.Engine.aggregate.Engine.naive_frames;
+  Alcotest.check Alcotest.int "payload bytes sim = unix"
+    sim.Engine.aggregate.Engine.payload_bytes
+    unix.Engine.aggregate.Engine.payload_bytes;
   Alcotest.check Alcotest.bool "sim saves frames" true
     (sim.Engine.aggregate.Engine.frames_saved > 0);
   Alcotest.check Alcotest.bool "unix saves frames" true

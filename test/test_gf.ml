@@ -43,4 +43,22 @@ let suite =
     prop "exp/log roundtrip" arb_nonzero (fun a -> F.exp (F.log a) = a);
     prop "add is involution" (QCheck.pair arb_elt arb_elt) (fun (a, b) ->
         F.add (F.add a b) b = a);
+    (* Unchecked hot-loop kernels agree with the checked API. *)
+    prop "mul_unsafe = mul" (QCheck.pair arb_elt arb_elt) (fun (a, b) ->
+        F.mul_unsafe a b = F.mul a b);
+    prop "dot = sum of muls"
+      (QCheck.pair (QCheck.list_of_size QCheck.Gen.(1 -- 8) arb_elt) arb_elt)
+      (fun (coeffs, y0) ->
+        let k = List.length coeffs in
+        let coeffs = Array.of_list coeffs in
+        let ys = Array.init k (fun j -> (y0 + (j * 257)) land 0xffff) in
+        let coeff_logs =
+          Array.map (fun c -> if c = 0 then -1 else F.log c) coeffs
+        in
+        let expected =
+          let acc = ref 0 in
+          Array.iteri (fun j c -> acc := F.add !acc (F.mul c ys.(j))) coeffs;
+          !acc
+        in
+        F.dot ~coeff_logs ~pos:0 ~ys ~k = expected);
   ]

@@ -76,6 +76,93 @@ let test_witness_codec () =
   Alcotest.check Alcotest.bool "empty rejected" true (Merkle.decode_witness "" = None);
   Alcotest.check Alcotest.bool "size accounted" true (Merkle.witness_size_bits w > 0)
 
+(* ---- differential: Bytes-backed fast path vs the seed string-concat ---- *)
+
+(* The seed Merkle build: per-node string concatenation. The fast path must
+   produce bit-identical roots and witnesses. *)
+let ref_levels values =
+  let hash_leaf v = Sha256.digest ("\x00" ^ v) in
+  let hash_node l r = Sha256.digest ("\x01" ^ l ^ r) in
+  let empty_leaf = Sha256.digest "\x02" in
+  let leaves = Array.length values in
+  let padded =
+    let rec go p = if p >= leaves then p else go (2 * p) in
+    go 1
+  in
+  let level0 =
+    Array.init padded (fun i -> if i < leaves then hash_leaf values.(i) else empty_leaf)
+  in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else
+      let next =
+        Array.init (Array.length level / 2) (fun i ->
+            hash_node level.(2 * i) level.((2 * i) + 1))
+      in
+      up (level :: acc) next
+  in
+  Array.of_list (up [] level0)
+
+let ref_witness levels i =
+  let rec go level idx acc =
+    if level >= Array.length levels - 1 then List.rev acc
+    else go (level + 1) (idx / 2) (levels.(level).(idx lxor 1) :: acc)
+  in
+  go 0 i []
+
+(* Reference witness on the wire: depth byte + concatenated 32-byte siblings
+   (the format decode_witness accepts). *)
+let ref_witness_encoding levels i =
+  let path = ref_witness levels i in
+  String.concat "" (String.make 1 (Char.chr (List.length path)) :: path)
+
+let prop_fast_path_matches_ref =
+  QCheck.Test.make ~name:"fast build = string-concat build (root + witnesses)"
+    ~count:100
+    QCheck.(pair (1 -- 40) (small_list (string_of_size Gen.(0 -- 60))))
+    (fun (n, extra) ->
+      (* Random leaf count with a mix of arbitrary and fixed contents. *)
+      let vs =
+        Array.init n (fun i ->
+            match List.nth_opt extra (i mod (List.length extra + 1)) with
+            | Some s -> s
+            | None -> Printf.sprintf "leaf-%d" i)
+      in
+      let t = Merkle.build vs in
+      let levels = ref_levels vs in
+      String.equal (Merkle.root t) levels.(Array.length levels - 1).(0)
+      && List.for_all
+           (fun i ->
+             String.equal
+               (Merkle.encode_witness (Merkle.witness t i))
+               (ref_witness_encoding levels i))
+           (List.init n Fun.id))
+
+let test_fast_path_matches_ref_exhaustive () =
+  for n = 1 to 20 do
+    let vs = Array.init n (fun i -> Printf.sprintf "codeword-%d-%d" n i) in
+    let t = Merkle.build vs in
+    let levels = ref_levels vs in
+    Alcotest.check Alcotest.string
+      (Printf.sprintf "n=%d root" n)
+      (Sha256.to_hex levels.(Array.length levels - 1).(0))
+      (Sha256.to_hex (Merkle.root t));
+    for i = 0 to n - 1 do
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "n=%d i=%d witness bytes" n i)
+        (Sha256.to_hex (ref_witness_encoding levels i))
+        (Sha256.to_hex (Merkle.encode_witness (Merkle.witness t i)));
+      (* And the reference-built witness verifies against the fast root. *)
+      match Merkle.decode_witness (ref_witness_encoding levels i) with
+      | Some w ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "n=%d i=%d cross-verifies" n i)
+            true
+            (Merkle.verify ~root:(Merkle.root t) ~index:i ~value:vs.(i) w)
+      | None -> Alcotest.fail "reference witness did not decode"
+    done
+  done
+
 let prop_witness_sound =
   (* A witness never validates a different (index, value) pair. *)
   QCheck.Test.make ~name:"witness soundness" ~count:200
@@ -96,5 +183,8 @@ let suite =
     Alcotest.test_case "distinct roots" `Quick test_distinct_roots;
     Alcotest.test_case "domain separation" `Quick test_leaf_vs_node_domains;
     Alcotest.test_case "witness codec" `Quick test_witness_codec;
+    Alcotest.test_case "fast path = reference (n <= 20, exhaustive)" `Quick
+      test_fast_path_matches_ref_exhaustive;
+    QCheck_alcotest.to_alcotest prop_fast_path_matches_ref;
     QCheck_alcotest.to_alcotest prop_witness_sound;
   ]

@@ -120,6 +120,78 @@ let prop_roundtrip =
       let shares = List.init k (fun i -> (idx.(i), cws.(idx.(i)))) in
       match Rs.decode ~n ~k shares with Ok m' -> String.equal m m' | Error _ -> false)
 
+(* ---- differential: matrix-form codec vs the seed reference path -------- *)
+
+let test_all_k_subsets_differential () =
+  (* Every codeword and every k-subset decode must be bit-identical between
+     the matrix codec and Reed_solomon_ref. *)
+  let m = msg 37 in
+  let n = 7 and k = 4 in
+  let codec = Rs.ctx ~n ~k in
+  let cws = Rs.encode_with codec m in
+  let ref_cws = Reed_solomon_ref.encode ~n ~k m in
+  Array.iteri
+    (fun i cw ->
+      Alcotest.check Alcotest.string (Printf.sprintf "codeword %d" i) ref_cws.(i) cw)
+    cws;
+  for mask = 0 to (1 lsl n) - 1 do
+    let idxs = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id) in
+    if List.length idxs = k then begin
+      let shares = List.map (fun i -> (i, cws.(i))) idxs in
+      let fast = Rs.decode_with codec shares in
+      let slow = Reed_solomon_ref.decode ~n ~k shares in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "subset %x decodes equally" mask)
+        true
+        (fast = slow && fast = Ok m)
+    end
+  done
+
+let test_ctx_paths_agree () =
+  let m = msg 64 in
+  let n = 9 and k = 6 in
+  let codec = Rs.ctx ~n ~k in
+  Alcotest.check Alcotest.bool "ctx is memoized" true (codec == Rs.ctx ~n ~k);
+  Alcotest.check
+    (Alcotest.array Alcotest.string)
+    "encode_with = encode" (Rs.encode ~n ~k m) (Rs.encode_with codec m);
+  let shares = List.init k (fun i -> (n - 1 - i, (Rs.encode ~n ~k m).(n - 1 - i))) in
+  Alcotest.check Alcotest.bool "decode_with = decode" true
+    (Rs.decode_with codec shares = Rs.decode ~n ~k shares);
+  Alcotest.check_raises "ctx validates params"
+    (Invalid_argument "Reed_solomon: bad (n, k)") (fun () ->
+      ignore (Rs.ctx ~n:4 ~k:5))
+
+let prop_encode_matches_ref =
+  QCheck.Test.make ~name:"matrix encode = reference encode (bit-identical)"
+    ~count:200
+    QCheck.(triple (2 -- 24) small_nat (string_of_size Gen.(0 -- 300)))
+    (fun (n, k0, m) ->
+      let k = 1 + (k0 mod n) in
+      let fast = Rs.encode ~n ~k m in
+      let slow = Reed_solomon_ref.encode ~n ~k m in
+      Array.for_all2 String.equal fast slow)
+
+let prop_decode_matches_ref =
+  QCheck.Test.make ~name:"matrix decode = reference decode on random k-subset"
+    ~count:200
+    QCheck.(quad (2 -- 16) small_nat (string_of_size Gen.(0 -- 200)) int)
+    (fun (n, k0, m, seed) ->
+      let k = 1 + (k0 mod n) in
+      let cws = Rs.encode ~n ~k m in
+      let idx = Array.init n (fun i -> i) in
+      let st = ref (abs seed + 1) in
+      for i = n - 1 downto 1 do
+        st := (!st * 1103515245) + 12345;
+        let j = abs !st mod (i + 1) in
+        let tmp = idx.(i) in
+        idx.(i) <- idx.(j);
+        idx.(j) <- tmp
+      done;
+      let shares = List.init k (fun i -> (idx.(i), cws.(idx.(i)))) in
+      let fast = Rs.decode ~n ~k shares in
+      fast = Reed_solomon_ref.decode ~n ~k shares && fast = Ok m)
+
 let prop_codeword_size_linear =
   QCheck.Test.make ~name:"codeword size is O(len/k)" ~count:100
     QCheck.(pair (1 -- 30) (int_bound 5000))
@@ -137,6 +209,11 @@ let suite =
     Alcotest.test_case "k = 1" `Quick test_k_equals_one;
     Alcotest.test_case "defensive decode" `Quick test_defensive_decode;
     Alcotest.test_case "parameter validation" `Quick test_params_validation;
+    Alcotest.test_case "all k-subsets differential (n=7,k=4)" `Quick
+      test_all_k_subsets_differential;
+    Alcotest.test_case "ctx paths agree" `Quick test_ctx_paths_agree;
+    QCheck_alcotest.to_alcotest prop_encode_matches_ref;
+    QCheck_alcotest.to_alcotest prop_decode_matches_ref;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_codeword_size_linear;
   ]

@@ -42,6 +42,97 @@ let test_lengths_near_padding_boundary () =
       (Sha256.to_hex (Sha256.finalize ctx))
   done
 
+(* ---- allocation-free hot path: reset / feed_byte / feed_bytes /
+   finalize_into must agree with the one-shot digest ---- *)
+
+let test_feed_paths_equivalent () =
+  let ctx = Sha256.init () in
+  let out = Bytes.make 40 '\xff' in
+  List.iter
+    (fun len ->
+      let s = String.init len (fun i -> Char.chr ((i * 7) land 0xff)) in
+      (* feed_byte, one byte at a time. *)
+      Sha256.reset ctx;
+      String.iter (fun c -> Sha256.feed_byte ctx (Char.code c)) s;
+      Sha256.finalize_into ctx out ~pos:4;
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "feed_byte len %d" len)
+        (Sha256.hex s)
+        (Sha256.to_hex (Bytes.sub_string out 4 32));
+      (* feed_bytes on a sub-range of a larger buffer. *)
+      Sha256.reset ctx;
+      let buf = Bytes.of_string ("##" ^ s ^ "##") in
+      Sha256.feed_bytes ctx buf ~pos:2 ~len;
+      Sha256.finalize_into ctx out ~pos:0;
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "feed_bytes len %d" len)
+        (Sha256.hex s)
+        (Sha256.to_hex (Bytes.sub_string out 0 32)))
+    [ 0; 1; 31; 55; 56; 63; 64; 65; 127; 128; 300 ];
+  (* Guard bytes outside the 32-byte window must be untouched. *)
+  Alcotest.check Alcotest.string "finalize_into writes exactly 32 bytes"
+    "ffffffff"
+    (Sha256.to_hex (Bytes.sub_string out 36 4))
+
+let test_reset_reuse () =
+  (* One context reused across digests, the Merkle-build pattern. *)
+  let ctx = Sha256.init () in
+  let out = Bytes.create 32 in
+  List.iter
+    (fun s ->
+      Sha256.reset ctx;
+      Sha256.feed ctx s;
+      Sha256.finalize_into ctx out ~pos:0;
+      Alcotest.check Alcotest.string
+        (Printf.sprintf "reused ctx on %S" s)
+        (Sha256.hex s)
+        (Sha256.to_hex (Bytes.to_string out)))
+    [ "abc"; ""; "abc"; String.make 200 'q'; "x" ];
+  (* reset also revives a context finalized the one-shot way. *)
+  Sha256.reset ctx;
+  Sha256.feed ctx "spent";
+  ignore (Sha256.finalize ctx);
+  Sha256.reset ctx;
+  Sha256.feed ctx "abc";
+  Alcotest.check Alcotest.string "reset after finalize"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.to_hex (Sha256.finalize ctx))
+
+let test_feed_bytes_range_checks () =
+  let ctx = Sha256.init () in
+  let b = Bytes.create 8 in
+  List.iter
+    (fun (pos, len) ->
+      Alcotest.check_raises
+        (Printf.sprintf "pos=%d len=%d" pos len)
+        (Invalid_argument "Sha256.feed_bytes: out of range")
+        (fun () -> Sha256.feed_bytes ctx b ~pos ~len))
+    [ (-1, 4); (0, -1); (5, 4); (9, 0) ];
+  let out = Bytes.create 32 in
+  List.iter
+    (fun pos ->
+      Alcotest.check_raises
+        (Printf.sprintf "finalize_into pos=%d" pos)
+        (Invalid_argument "Sha256.finalize_into: out of range")
+        (fun () ->
+          let c = Sha256.init () in
+          Sha256.finalize_into c out ~pos))
+    [ -1; 1; 32 ]
+
+let prop_incremental_equals_oneshot =
+  QCheck.Test.make ~name:"reset/feed_byte/feed_bytes = one-shot" ~count:200
+    QCheck.(pair string small_nat)
+    (fun (s, cut) ->
+      let cut = if String.length s = 0 then 0 else cut mod (String.length s + 1) in
+      let ctx = Sha256.init () in
+      Sha256.reset ctx;
+      String.iter (fun c -> Sha256.feed_byte ctx (Char.code c)) (String.sub s 0 cut);
+      let rest = Bytes.of_string s in
+      Sha256.feed_bytes ctx rest ~pos:cut ~len:(String.length s - cut);
+      let out = Bytes.create 32 in
+      Sha256.finalize_into ctx out ~pos:0;
+      String.equal (Bytes.to_string out) (Sha256.digest s))
+
 let prop_digest_size =
   QCheck.Test.make ~name:"digest is 32 bytes" ~count:100 QCheck.string (fun s ->
       String.length (Sha256.digest s) = 32)
@@ -66,6 +157,10 @@ let suite =
     Alcotest.test_case "million a" `Slow test_million_a;
     Alcotest.test_case "streaming" `Quick test_streaming;
     Alcotest.test_case "padding boundaries" `Quick test_lengths_near_padding_boundary;
+    Alcotest.test_case "feed paths equivalent" `Quick test_feed_paths_equivalent;
+    Alcotest.test_case "reset + reuse" `Quick test_reset_reuse;
+    Alcotest.test_case "feed_bytes range checks" `Quick test_feed_bytes_range_checks;
+    QCheck_alcotest.to_alcotest prop_incremental_equals_oneshot;
     QCheck_alcotest.to_alcotest prop_digest_size;
     QCheck_alcotest.to_alcotest prop_deterministic;
     QCheck_alcotest.to_alcotest prop_streaming_split;
