@@ -8,7 +8,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build fmt test check bench bench-smoke clean
+.PHONY: all build fmt test check bench bench-smoke validate-bench clean
 
 all: build
 
@@ -30,7 +30,12 @@ test:
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- --smoke
 
-check: build fmt test bench-smoke
+# Every committed BENCH_*.json ledger must parse and have the harness's
+# shape (meta.experiment + non-empty rows).
+validate-bench:
+	$(DUNE) exec bench/validate_bench.exe -- BENCH_*.json
+
+check: build fmt test bench-smoke validate-bench
 	@echo "[check] tier-1 gate passed"
 
 # Full benchmark run, built with the optimizing release profile (see the

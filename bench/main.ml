@@ -934,12 +934,109 @@ let substrate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* TELEMETRY: observability overhead and invariants                    *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_bench () =
+  header "TELEMETRY  --  observability overhead on the T1 workload"
+    "Engineering table (no paper claim): attaching a Telemetry recorder to a run must\n\
+     cost little (gate: <= 10% wall-clock on the T1 workload) and change nothing —\n\
+     span bits must reproduce Metrics.honest_bits exactly (ledger equality) and the\n\
+     JSONL export must be byte-identical across runs of the same seed.";
+  let n = 13 and t = 4 in
+  (* Big enough that protocol computation dominates: at 2^14 bits a bare run
+     takes ~0.1 s, which makes the min-of-reps ratio stable; at 2^12 and
+     below the measurement is mostly scheduler noise. *)
+  let bits = if !smoke then 1 lsl 9 else 1 lsl 14 in
+  let reps = if !smoke then 1 else 7 in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let inputs = standard_inputs ~seed:42 ~n ~bits in
+  let inputs = Workload.apply_input_attack Workload.Outlier_high ~corrupt inputs in
+  (* Adversary strategies carry PRNG state: a fresh instance per run keeps
+     every run (timed or checked, bare or instrumented) identical. *)
+  let run ?telemetry () =
+    Workload.run_int ?telemetry ~n ~t ~corrupt
+      ~adversary:(Adversary.equivocate ~seed:5)
+      ~inputs Workload.pi_z.Workload.run
+  in
+  let time_min f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sys.opaque_identity (f ()));
+      let d = Unix.gettimeofday () -. t0 in
+      if d < !best then best := d
+    done;
+    !best
+  in
+  let bare_s = time_min (fun () -> run ()) in
+  let instrumented_s =
+    time_min (fun () -> run ~telemetry:(Telemetry.create ()) ())
+  in
+  let overhead = (instrumented_s -. bare_s) /. bare_s in
+  (* Invariant checks on two fresh instrumented runs. *)
+  let tm1 = Telemetry.create () in
+  let r1 = run ~telemetry:tm1 () in
+  let tm2 = Telemetry.create () in
+  let _r2 = run ~telemetry:tm2 () in
+  let j1 = Telemetry.to_jsonl tm1 and j2 = Telemetry.to_jsonl tm2 in
+  let ledger_ok = Telemetry.honest_bits_total tm1 = r1.Workload.honest_bits in
+  let deterministic = String.equal j1 j2 in
+  Printf.printf "%-24s | %12s\n" "measure" "value";
+  print_endline line;
+  Printf.printf "%-24s | %12.4f\n" "bare s (min of reps)" bare_s;
+  Printf.printf "%-24s | %12.4f\n" "instrumented s" instrumented_s;
+  Printf.printf "%-24s | %11.1f%%\n" "overhead" (100. *. overhead);
+  Printf.printf "%-24s | %12d\n" "honest bits" r1.Workload.honest_bits;
+  Printf.printf "%-24s | %12d\n" "span bits"
+    (Telemetry.honest_bits_total tm1);
+  Printf.printf "%-24s | %12d\n" "jsonl bytes" (String.length j1);
+  Printf.printf "%-24s | %12b\n" "ledger equality" ledger_ok;
+  Printf.printf "%-24s | %12b\n" "deterministic jsonl" deterministic;
+  write_json ~path:"BENCH_telemetry.json"
+    ~meta:
+      [
+        ("experiment", Bench_json.Str "telemetry");
+        ("n", Bench_json.Int n);
+        ("t", Bench_json.Int t);
+        ("bits", Bench_json.Int bits);
+        ("reps", Bench_json.Int reps);
+      ]
+    ~rows:
+      [
+        [
+          ("bare_s", Bench_json.Float bare_s);
+          ("instrumented_s", Bench_json.Float instrumented_s);
+          ("overhead_pct", Bench_json.Float (100. *. overhead));
+          ("honest_bits", Bench_json.Int r1.Workload.honest_bits);
+          ("span_bits", Bench_json.Int (Telemetry.honest_bits_total tm1));
+          ("jsonl_bytes", Bench_json.Int (String.length j1));
+          ("ledger_equality", Bench_json.Bool ledger_ok);
+          ("deterministic_jsonl", Bench_json.Bool deterministic);
+        ];
+      ];
+  (* Acceptance gates. The invariants must hold even at smoke parameters;
+     the timing gate is meaningful only on the full workload. *)
+  if not ledger_ok then
+    failwith
+      (Printf.sprintf "telemetry: ledger mismatch (%d span bits, %d metric bits)"
+         (Telemetry.honest_bits_total tm1) r1.Workload.honest_bits);
+  if not deterministic then
+    failwith "telemetry: JSONL export not byte-identical across runs";
+  if not !smoke then begin
+    if overhead > 0.10 then
+      failwith
+        (Printf.sprintf "telemetry: overhead %.1f%% > 10%%" (100. *. overhead))
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("t1", t1); ("t2", t2); ("f1", f1); ("t3", t3); ("t4", t4); ("t5", t5);
     ("t6", t6); ("t7", t7); ("t8", t8); ("t9", t9); ("a1", a1);
     ("engine", engine_bench); ("substrate", substrate); ("bench", b1);
+    ("telemetry", telemetry_bench);
   ]
 
 let () =

@@ -1,0 +1,211 @@
+(* Validate committed BENCH_*.json ledgers: each must parse as JSON and have
+   the harness's shape — a top-level object with "meta" (an object carrying
+   an "experiment" string) and "rows" (a non-empty array of objects).
+
+     dune exec bench/validate_bench.exe -- BENCH_*.json
+
+   Wired into `make check` so a hand-edited or truncated ledger fails fast.
+   Zero dependencies: a minimal recursive-descent JSON parser is enough for
+   the subset Bench_json emits (and rejects anything outside JSON proper). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+              (* Bench_json never emits \u, but accept and keep it verbatim. *)
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              Buffer.add_string buf (String.sub s (!pos - 1) 6);
+              pos := !pos + 5;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let validate path =
+  let json =
+    try parse (read_file path) with
+    | Bad msg -> failwith (Printf.sprintf "parse error: %s" msg)
+    | Sys_error msg -> failwith msg
+  in
+  match json with
+  | Obj fields -> (
+      (match List.assoc_opt "meta" fields with
+      | Some (Obj meta) -> (
+          match List.assoc_opt "experiment" meta with
+          | Some (Str name) when name <> "" -> ()
+          | Some _ -> failwith "meta.experiment is not a non-empty string"
+          | None -> failwith "meta has no \"experiment\" key")
+      | Some _ -> failwith "\"meta\" is not an object"
+      | None -> failwith "no top-level \"meta\" key");
+      match List.assoc_opt "rows" fields with
+      | Some (Arr []) -> failwith "\"rows\" is empty"
+      | Some (Arr rows) ->
+          List.iteri
+            (fun i row ->
+              match row with
+              | Obj (_ :: _) -> ()
+              | Obj [] -> failwith (Printf.sprintf "rows[%d] is empty" i)
+              | _ -> failwith (Printf.sprintf "rows[%d] is not an object" i))
+            rows;
+          List.length rows
+      | Some _ -> failwith "\"rows\" is not an array"
+      | None -> failwith "no top-level \"rows\" key")
+  | _ -> failwith "top level is not an object"
+
+let () =
+  let paths = List.tl (Array.to_list Sys.argv) in
+  if paths = [] then begin
+    prerr_endline "usage: validate_bench BENCH_*.json";
+    exit 2
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun path ->
+      match validate path with
+      | rows -> Printf.printf "%-28s ok (%d rows)\n" path rows
+      | exception Failure msg ->
+          incr failures;
+          Printf.printf "%-28s FAIL: %s\n" path msg)
+    paths;
+  if !failures > 0 then exit 1

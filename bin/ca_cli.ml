@@ -61,11 +61,32 @@ let workload_catalogue rng ~n ~bits =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* A recorder pre-loaded with the scenario parameters as meta lines, shared
+   by every command that can attach telemetry. *)
+let make_recorder ~command kvs =
+  let tm = Telemetry.create () in
+  Telemetry.set_meta tm "command" command;
+  List.iter (fun (k, v) -> Telemetry.set_meta tm k v) kvs;
+  tm
+
+let export_telemetry tm path =
+  write_file path (Telemetry.to_jsonl tm);
+  Printf.printf "telemetry:       wrote JSONL to %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* The run command                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let run_scenario n t protocol_name workload_name adversary_name attack_name bits
-    aa_rounds seed verbose =
+    aa_rounds seed verbose telemetry_path =
   if 3 * t >= n then begin
     Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
     exit 2
@@ -95,9 +116,29 @@ let run_scenario n t protocol_name workload_name adversary_name attack_name bits
           (if corrupt.(i) then "   <- byzantine" else ""))
       inputs
   end;
-  let report =
-    Workload.run_int ~n ~t ~corrupt ~adversary ~inputs protocol.Workload.run
+  let telemetry =
+    Option.map
+      (fun _ ->
+        make_recorder ~command:"run"
+          [
+            ("protocol", protocol_name);
+            ("workload", workload_name);
+            ("adversary", adversary_name);
+            ("attack", attack_name);
+            ("n", string_of_int n);
+            ("t", string_of_int t);
+            ("bits", string_of_int bits);
+            ("seed", string_of_int seed);
+          ])
+      telemetry_path
   in
+  let report =
+    Workload.run_int ?telemetry ~n ~t ~corrupt ~adversary ~inputs
+      protocol.Workload.run
+  in
+  (match (telemetry, telemetry_path) with
+  | Some tm, Some path -> export_telemetry tm path
+  | _ -> ());
   Printf.printf "protocol:        %s\n" protocol.Workload.proto_name;
   Printf.printf "parties:         n=%d, t=%d, adversary=%s, attack=%s, seed=%d\n" n t
     adversary.Adversary.name attack_name seed;
@@ -166,7 +207,7 @@ let trace_scenario n t protocol_name workload_name adversary_name attack_name bi
 (* ------------------------------------------------------------------ *)
 
 let engine_scenario n t sessions spacing backend adversary_name attack_name bits
-    seed verbose =
+    seed verbose telemetry_path =
   if 3 * t >= n then begin
     Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
     exit 2
@@ -222,10 +263,30 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
         Engine.session ~start_round:(k * spacing) ~adversary ~sid:k (fun ctx ->
             Workload.pi_z.Workload.run ctx inputs.(k).(ctx.Ctx.me)))
   in
-  let outcome =
-    if unix then Engine.run_unix ~t ~n specs
-    else Engine.run_sim ~n ~t ~corrupt specs
+  let telemetry =
+    Option.map
+      (fun _ ->
+        make_recorder ~command:"engine"
+          [
+            ("backend", backend);
+            ("adversary", adversary_name);
+            ("attack", attack_name);
+            ("n", string_of_int n);
+            ("t", string_of_int t);
+            ("sessions", string_of_int sessions);
+            ("spacing", string_of_int spacing);
+            ("bits", string_of_int bits);
+            ("seed", string_of_int seed);
+          ])
+      telemetry_path
   in
+  let outcome =
+    if unix then Engine.run_unix ?telemetry ~t ~n specs
+    else Engine.run_sim ?telemetry ~n ~t ~corrupt specs
+  in
+  (match (telemetry, telemetry_path) with
+  | Some tm, Some path -> export_telemetry tm path
+  | _ -> ());
   Printf.printf
     "backend:   %s   (n=%d, t=%d, protocol=%s, adversary=%s, attack=%s, \
      seed=%d)\n"
@@ -277,6 +338,63 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
     a.Engine.honest_bits_total
     (a.Engine.honest_bits_total / sessions);
   if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* The telemetry command                                               *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_scenario n t protocol_name workload_name adversary_name
+    attack_name bits aa_rounds seed top jsonl_path =
+  if 3 * t >= n then begin
+    Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
+    exit 2
+  end;
+  let rng = Prng.create seed in
+  let lookup what table name =
+    match List.assoc_opt name table with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "error: unknown %s %S; available: %s\n" what name
+          (String.concat ", " (List.map fst table));
+        exit 2
+  in
+  let protocol =
+    lookup "protocol" (protocol_catalogue ~bits ~aa_rounds) protocol_name
+  in
+  let gen = lookup "workload" (workload_catalogue rng ~n ~bits) workload_name in
+  let adversary = lookup "adversary" (adversary_catalogue ~seed) adversary_name in
+  let attack = lookup "attack" attack_catalogue attack_name in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let inputs = Workload.apply_input_attack attack ~corrupt (gen ()) in
+  let tm =
+    make_recorder ~command:"telemetry"
+      [
+        ("protocol", protocol_name);
+        ("workload", workload_name);
+        ("adversary", adversary_name);
+        ("attack", attack_name);
+        ("n", string_of_int n);
+        ("t", string_of_int t);
+        ("bits", string_of_int bits);
+        ("seed", string_of_int seed);
+      ]
+  in
+  let report =
+    Workload.run_int ~telemetry:tm ~n ~t ~corrupt ~adversary ~inputs
+      protocol.Workload.run
+  in
+  Format.printf "%a" (Telemetry.pp_report ~top) tm;
+  (* The ledger-equality invariant, checked live on every CLI run. *)
+  if Telemetry.honest_bits_total tm <> report.Workload.honest_bits then begin
+    Printf.eprintf "error: telemetry ledger mismatch (%d span bits, %d metric bits)\n"
+      (Telemetry.honest_bits_total tm) report.Workload.honest_bits;
+    exit 1
+  end;
+  match jsonl_path with
+  | Some path ->
+      write_file path (Telemetry.to_jsonl tm);
+      Printf.printf "\nwrote JSONL to %s\n" path
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* The list command                                                    *)
@@ -351,11 +469,19 @@ let file_arg =
           "Load the whole configuration from a scenario file (key = value \
            lines; see the Scenario library). Overrides the other options.")
 
+let telemetry_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:"Record telemetry (spans, timelines, probes) and write it as JSONL.")
+
 let run_dispatch file n t protocol workload adversary attack bits aa_rounds seed
-    verbose =
+    verbose telemetry =
   match file with
   | None ->
-      run_scenario n t protocol workload adversary attack bits aa_rounds seed verbose
+      run_scenario n t protocol workload adversary attack bits aa_rounds seed
+        verbose telemetry
   | Some path -> (
       match Scenario.load path with
       | Error msg ->
@@ -364,7 +490,7 @@ let run_dispatch file n t protocol workload adversary attack bits aa_rounds seed
       | Ok s ->
           run_scenario s.Scenario.n s.Scenario.t s.Scenario.protocol
             s.Scenario.workload s.Scenario.adversary s.Scenario.attack
-            s.Scenario.bits s.Scenario.aa_rounds s.Scenario.seed verbose)
+            s.Scenario.bits s.Scenario.aa_rounds s.Scenario.seed verbose telemetry)
 
 let run_cmd =
   let doc = "run one Convex Agreement scenario in the simulator" in
@@ -372,7 +498,7 @@ let run_cmd =
     Term.(
       const run_dispatch $ file_arg $ n_arg $ t_arg $ protocol_arg $ workload_arg
       $ adversary_arg $ attack_arg $ bits_arg $ aa_rounds_arg $ seed_arg
-      $ verbose_arg)
+      $ verbose_arg $ telemetry_file_arg)
 
 let list_cmd =
   let doc = "list protocols, workloads, adversaries and input attacks" in
@@ -420,7 +546,28 @@ let engine_cmd =
     Term.(
       const engine_scenario $ n_arg $ t_arg $ sessions_arg $ spacing_arg
       $ backend_arg $ adversary_arg $ attack_arg $ bits_arg $ seed_arg
-      $ verbose_arg)
+      $ verbose_arg $ telemetry_file_arg)
+
+let top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"K" ~doc:"Rows in the per-label cost table.")
+
+let jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also write the raw telemetry as JSONL.")
+
+let telemetry_cmd =
+  let doc =
+    "run a scenario with telemetry and render spans, heatmap and convergence"
+  in
+  Cmd.v (Cmd.info "telemetry" ~doc)
+    Term.(
+      const telemetry_scenario $ n_arg $ t_arg $ protocol_arg $ workload_arg
+      $ adversary_arg $ attack_arg $ bits_arg $ aa_rounds_arg $ seed_arg
+      $ top_arg $ jsonl_arg)
 
 let () =
   let doc = "communication-optimal convex agreement (PODC 2024) scenario runner" in
@@ -428,4 +575,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "convex-agreement" ~doc)
-          [ run_cmd; trace_cmd; engine_cmd; list_cmd ]))
+          [ run_cmd; trace_cmd; engine_cmd; telemetry_cmd; list_cmd ]))

@@ -38,6 +38,14 @@ let decode_window ~expect_bits raw =
 let run (ctx : Ctx.t) ~bits:len v_in =
   if Bitstring.length v_in <> len then invalid_arg "Find_prefix.run: input length";
   let rec loop ~left ~right ~prefix_star ~v ~v_bot ~iterations =
+    (* Convergence probe: the party's current candidate value, once per
+       search iteration (and once more on exit). Honest candidates only
+       tighten toward the agreed prefix, so the honest hull width is monotone
+       non-increasing over iterations. *)
+    let* () =
+      Proto.probe "find_prefix.v" (fun () ->
+          Bigint.to_hex (Bigint.of_bitstring v))
+    in
     if left = right then
       Proto.return { prefix_star; v; v_bot; iterations }
     else begin

@@ -28,6 +28,13 @@ let run (ctx : Ctx.t) ~bits:len v_in =
     Bitstring.range v ~left:(((left - 1) * block_bits) + 1) ~right:(right * block_bits)
   in
   let rec loop ~left ~right ~prefix_star ~v ~v_bot ~iterations =
+    (* Convergence probe, mirroring {!Find_prefix}: honest candidates only
+       snap toward the agreed prefix, so the honest hull width is monotone
+       non-increasing over block-search iterations. *)
+    let* () =
+      Proto.probe "find_prefix_blocks.v" (fun () ->
+          Bigint.to_hex (Bigint.of_bitstring v))
+    in
     if left = right then Proto.return { prefix_star; v; v_bot; iterations }
     else begin
       let mid = (left + right) / 2 in

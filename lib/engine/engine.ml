@@ -121,13 +121,29 @@ type 'a live = {
   l_admitted : int;
 }
 
-let rec settle labels i = function
-  | Proto.Push (l, rest) ->
-      labels.(i) <- l :: labels.(i);
-      settle labels i rest
+(* Normalize label/probe nodes so that every state is [Done] or [Step].
+   [round] is the session-local number of rounds completed — the same stamp
+   Sim.run and Net_unix.run_sessions give spans and probes. *)
+let rec settle ~telemetry ~corrupt ~sid ~round labels i = function
+  | Proto.Push (lb, rest) ->
+      labels.(i) <- lb :: labels.(i);
+      (match telemetry with
+      | Some tm -> Telemetry.push tm ~session:sid ~party:i ~round ~label:lb
+      | None -> ());
+      settle ~telemetry ~corrupt ~sid ~round labels i rest
   | Proto.Pop rest ->
       (labels.(i) <- (match labels.(i) with [] -> [] | _ :: tl -> tl));
-      settle labels i rest
+      (match telemetry with
+      | Some tm -> Telemetry.pop tm ~session:sid ~party:i ~round
+      | None -> ());
+      settle ~telemetry ~corrupt ~sid ~round labels i rest
+  | Proto.Probe (key, value, rest) ->
+      (match telemetry with
+      | Some tm ->
+          Telemetry.probe_event tm ~session:sid ~party:i ~round
+            ~byzantine:corrupt.(i) ~key ~value:(value ())
+      | None -> ());
+      settle ~telemetry ~corrupt ~sid ~round labels i rest
   | (Proto.Done _ | Proto.Step _) as s -> s
 
 let honest_running ~corrupt states =
@@ -140,7 +156,8 @@ let honest_running ~corrupt states =
     states;
   !running
 
-let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
+let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
+    specs =
   if Array.length corrupt <> n then invalid_arg "Engine.run_sim: corrupt array size";
   let n_corrupt = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 corrupt in
   if n_corrupt > t then invalid_arg "Engine.run_sim: more corruptions than t";
@@ -154,6 +171,13 @@ let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
   let frame_bytes = ref 0 in
   let payload_bytes = ref 0 in
   let retire l =
+    (match telemetry with
+    | Some tm ->
+        for i = 0 to n - 1 do
+          Telemetry.finish tm ~session:l.l_sid ~party:i
+            ~round:l.l_metrics.Metrics.rounds
+        done
+    | None -> ());
     finished :=
       ( l.l_index,
         {
@@ -181,7 +205,11 @@ let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
         let states =
           Array.init n (fun me -> spec.protocol (Ctx.make ~n ~t ~me))
         in
-        Array.iteri (fun i s -> states.(i) <- settle labels i s) states;
+        Array.iteri
+          (fun i s ->
+            states.(i) <-
+              settle ~telemetry ~corrupt ~sid:spec.sid ~round:0 labels i s)
+          states;
         let l =
           {
             l_index = idx;
@@ -196,6 +224,9 @@ let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
         if honest_running ~corrupt states then live := !live @ [ l ]
         else retire l)
       now;
+    (match telemetry with
+    | Some tm -> Telemetry.live_sessions tm ~round:!er ~live:(List.length !live)
+    | None -> ());
     (* Per ordered pair, the entries of this round's coalesced frame, in
        admission order (matching the unix backend's frame contents). *)
     let bundles = Array.init n (fun _ -> Array.make n []) in
@@ -212,7 +243,7 @@ let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
               match s with
               | Proto.Step (out, _) -> Array.init n out
               | Proto.Done _ -> Array.make n None
-              | Proto.Push _ | Proto.Pop _ -> assert false)
+              | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false)
             states
         in
         let view =
@@ -236,12 +267,31 @@ let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
               | None -> ()
               | Some m ->
                   bundles.(s).(r) <- (l.l_sid, m) :: bundles.(s).(r);
+                  let label =
+                    match l.l_labels.(s) with [] -> None | lb :: _ -> Some lb
+                  in
+                  (match trace with
+                  | Some tr ->
+                      Trace.record tr
+                        {
+                          Trace.round = metrics.Metrics.rounds;
+                          src = s;
+                          dst = r;
+                          bytes = String.length m;
+                          byzantine = corrupt.(s);
+                          label;
+                          session = l.l_sid;
+                        }
+                  | None -> ());
+                  (match telemetry with
+                  | Some tm ->
+                      Telemetry.message tm ~session:l.l_sid ~party:s
+                        ~round:metrics.Metrics.rounds ~timeline_round:!er
+                        ~bytes:(String.length m) ~byzantine:corrupt.(s) ()
+                  | None -> ());
                   if corrupt.(s) then
                     Metrics.record_byzantine metrics ~bytes:(String.length m)
                   else
-                    let label =
-                      match l.l_labels.(s) with [] -> None | lb :: _ -> Some lb
-                    in
                     Metrics.record_honest metrics ~label ~bytes:(String.length m)
           done
         done;
@@ -255,9 +305,11 @@ let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
           match states.(i) with
           | Proto.Step (_, k) ->
               let inbox = Array.init n (fun s -> actual.(s).(i)) in
-              states.(i) <- settle l.l_labels i (k inbox)
+              states.(i) <-
+                settle ~telemetry ~corrupt ~sid:l.l_sid
+                  ~round:metrics.Metrics.rounds l.l_labels i (k inbox)
           | Proto.Done _ -> ()
-          | Proto.Push _ | Proto.Pop _ -> assert false
+          | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
         done)
       !live;
     (* 5. Transport accounting: one coalesced frame per ordered pair. *)
@@ -310,12 +362,12 @@ let run_sim ?(max_rounds = default_max_rounds) ~n ~t ~corrupt specs =
 
 (* ---- socket backend ------------------------------------------------------- *)
 
-let run_unix ?t ~n specs =
+let run_unix ?t ?telemetry ~n specs =
   validate_specs specs;
   let sessions =
     Array.of_list (List.map (fun s -> (s.sid, s.start_round, s.protocol)) specs)
   in
-  let outs, st = Net_unix.run_sessions ?t ~n sessions in
+  let outs, st = Net_unix.run_sessions ?t ?telemetry ~n sessions in
   let results =
     List.mapi
       (fun i spec ->

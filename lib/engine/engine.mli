@@ -85,6 +85,8 @@ val default_max_rounds : int
 
 val run_sim :
   ?max_rounds:int ->
+  ?trace:Net.Trace.t ->
+  ?telemetry:Telemetry.t ->
   n:int ->
   t:int ->
   corrupt:bool array ->
@@ -92,12 +94,19 @@ val run_sim :
   'a outcome
 (** Execute every session in the deterministic lock-step simulator, with the
     per-session rushing adversaries controlling the corrupted parties.
-    Raises [Invalid_argument] on inconsistent parameters (corrupt-array
-    size, more corruptions than [t], duplicate or negative sids, negative
-    start rounds, empty session list). *)
+    [trace] records every sent message with its session id. [telemetry]
+    attaches a recorder: each session records spans and probes under its
+    [sid] at session-local rounds completed, messages additionally carry the
+    engine round as their timeline round, and the live-session count is
+    recorded once per engine round — summing a session's span bits
+    reproduces that session's [Metrics.honest_bits] exactly, and the
+    conventions match {!Net_unix.run_sessions} session-for-session. Raises
+    [Invalid_argument] on inconsistent parameters (corrupt-array size, more
+    corruptions than [t], duplicate or negative sids, negative start rounds,
+    empty session list). *)
 
 val run_unix :
-  ?t:int -> n:int -> 'a spec list -> 'a outcome
+  ?t:int -> ?telemetry:Telemetry.t -> n:int -> 'a spec list -> 'a outcome
 (** Execute every session over one shared Unix socket mesh
     ({!Net_unix.run_sessions}): one thread per party, one coalesced frame
     per ordered pair per engine round. Honest executions only — the specs'

@@ -60,9 +60,36 @@ let merge ~into src =
         (bits + Option.value ~default:0 (Hashtbl.find_opt into.by_label label)))
     src.by_label
 
+(* Point-in-time copy: the scalar fields are copied by the record update,
+   the label table explicitly (it is shared mutable state otherwise). *)
+let snapshot m = { m with by_label = Hashtbl.copy m.by_label }
+
+(* [diff ~after ~before]: counters accumulated between two snapshots of the
+   same run — the per-interval attribution primitive. [rounds] subtracts
+   (rounds of one run are a monotone counter, not a max-merge). Labels whose
+   delta is zero are dropped. *)
+let diff ~after ~before =
+  let by_label = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun label bits ->
+      let d = bits - Option.value ~default:0 (Hashtbl.find_opt before.by_label label) in
+      if d <> 0 then Hashtbl.replace by_label label d)
+    after.by_label;
+  {
+    rounds = after.rounds - before.rounds;
+    honest_bits = after.honest_bits - before.honest_bits;
+    honest_msgs = after.honest_msgs - before.honest_msgs;
+    byz_bits = after.byz_bits - before.byz_bits;
+    byz_msgs = after.byz_msgs - before.byz_msgs;
+    by_label;
+  }
+
+(* Bits descending, then label ascending: ties (equal-cost components are
+   common in lock-step protocols) must not depend on hash-table order. *)
 let labels m =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.by_label []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (la, a) (lb, b) ->
+         if a <> b then compare b a else compare la lb)
 
 let pp fmt m =
   Format.fprintf fmt "rounds=%d honest_bits=%d honest_msgs=%d" m.rounds

@@ -35,7 +35,18 @@ val merge : into:t -> t -> unit
     sessions overlap in time (the engine's wall-clock is the max, not the
     sum, of its sessions' rounds). *)
 
+val snapshot : t -> t
+(** An independent point-in-time copy (label table included); the original
+    keeps accumulating without affecting it. *)
+
+val diff : after:t -> before:t -> t
+(** Counters accumulated between two snapshots of the same run: every field
+    — including [rounds] — subtracts, and zero-delta labels are dropped.
+    The per-interval attribution primitive ([snapshot] before, [diff]
+    after). *)
+
 val labels : t -> (string * int) list
-(** Per-label honest bits, largest first. *)
+(** Per-label honest bits, bits descending, ties broken by label ascending —
+    fully deterministic. *)
 
 val pp : Format.formatter -> t -> unit

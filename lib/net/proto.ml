@@ -25,6 +25,10 @@ type 'a t =
           continue with the received inbox. *)
   | Push of string * 'a t  (** Begin a metrics label scope (see {!Metrics}). *)
   | Pop of 'a t  (** End the innermost label scope. *)
+  | Probe of string * (unit -> string) * 'a t
+      (** Emit a telemetry data point (key, lazily rendered value); consumes
+          no round and sends nothing. The thunk is only forced when a
+          recorder is attached, so bare runs never pay for serialization. *)
 
 let return x = Done x
 
@@ -34,6 +38,7 @@ let rec bind m f =
   | Step (out, k) -> Step (out, fun inbox -> bind (k inbox) f)
   | Push (l, rest) -> Push (l, bind rest f)
   | Pop rest -> Pop (bind rest f)
+  | Probe (key, value, rest) -> Probe (key, value, bind rest f)
 
 let ( let* ) = bind
 let map m f = bind m (fun x -> return (f x))
@@ -53,13 +58,19 @@ let receive_only () = exchange (fun _ -> None)
     the metrics (used by the component-ablation experiment). Scopes nest. *)
 let with_label label m = Push (label, bind m (fun x -> Pop (Done x)))
 
+(** [probe key value] emits a telemetry data point; the thunk is forced only
+    when the runtime has a recorder attached. Convergence analysis expects
+    hexadecimal integer values ([Bigint.to_hex] — linear, unlike the
+    quadratic decimal rendering). *)
+let probe key value = Probe (key, value, Done ())
+
 (** [round_count m] — number of communication rounds a protocol value will
     consume if every inbox is empty. Useful only for tests of static-round
     protocols. *)
 let rec round_count = function
   | Done _ -> 0
   | Step (_, k) -> 1 + round_count (k [||])
-  | Push (_, m) | Pop m -> round_count m
+  | Push (_, m) | Pop m | Probe (_, _, m) -> round_count m
 
 (* ---- parallel composition ------------------------------------------------ *)
 
@@ -83,9 +94,10 @@ let decode_mux ~branches raw =
 
 (* Labels inside parallel branches are stripped: the branches' scopes would
    interleave on one per-party stack with no consistent meaning. Label the
-   composition from outside instead. *)
+   composition from outside instead. Probes are stripped for the same
+   reason — branch-local occurrence indices would interleave arbitrarily. *)
 let rec strip_labels = function
-  | Push (_, m) | Pop m -> strip_labels m
+  | Push (_, m) | Pop m | Probe (_, _, m) -> strip_labels m
   | (Done _ | Step _) as m -> m
 
 (** [parallel ps] runs the protocols [ps] concurrently: each round carries

@@ -28,6 +28,10 @@ type 'a t =
           continue with the received inbox. *)
   | Push of string * 'a t  (** Begin a metrics label scope (see {!Metrics}). *)
   | Pop of 'a t  (** End the innermost label scope. *)
+  | Probe of string * (unit -> string) * 'a t
+      (** Emit a telemetry data point (key, lazily rendered value); consumes
+          no round and sends nothing. Runtimes force the thunk only when a
+          [Telemetry.t] recorder is attached. *)
 
 val return : 'a -> 'a t
 val bind : 'a t -> ('a -> 'b t) -> 'b t
@@ -50,6 +54,13 @@ val with_label : string -> 'a t -> 'a t
     (the component-ablation experiment, T5). Scopes nest; the innermost
     label wins. *)
 
+val probe : string -> (unit -> string) -> unit t
+(** [probe key value] emits a telemetry data point under [key]; free (no
+    round, no traffic) and invisible without a recorder. The convergence
+    analysis in [Telemetry] expects values rendered as hexadecimal integers
+    ([Bigint.to_hex]) — hex rendering is linear in the value size, so even
+    huge probes cannot distort the instrumented run's cost. *)
+
 val round_count : 'a t -> int
 (** Rounds consumed when every inbox is empty — only meaningful for
     protocols whose round structure is input-independent (tests). *)
@@ -62,8 +73,9 @@ val parallel : 'a t list -> 'a list t
     message, each branch receives its slice of the inbox — so the whole
     composition takes [max] rather than [sum] of the branches' rounds. All
     honest parties must compose the same branch count and order (a protocol
-    parameter). Labels inside branches are stripped — wrap the composition
-    in {!with_label} instead. Raises [Invalid_argument] on an empty list. *)
+    parameter). Labels and probes inside branches are stripped — wrap the
+    composition in {!with_label} instead. Raises [Invalid_argument] on an
+    empty list. *)
 
 val both : 'a t -> 'b t -> ('a * 'b) t
 (** Two-branch {!parallel}. *)

@@ -23,7 +23,7 @@ let default_max_rounds = 20_000
 let max_byzantine_bytes = 1 lsl 22
 
 let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?trace
-    ?(setup = `Plain) ~n ~t ~corrupt ~adversary protocol =
+    ?telemetry ?(setup = `Plain) ~n ~t ~corrupt ~adversary protocol =
   if Array.length corrupt <> n then invalid_arg "Sim.run: corrupt array size";
   let make_ctx =
     match setup with
@@ -39,18 +39,33 @@ let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?
   let states = Array.init n (fun me -> protocol (make_ctx ~n ~t ~me)) in
   let outputs = Array.make n None in
   let label_stacks = Array.make n [] in
-  (* Normalize label nodes so that every state is [Done] or [Step]. *)
-  let rec settle i = function
+  (* Normalize label/probe nodes so that every state is [Done] or [Step].
+     [round] is the session-local number of rounds completed, which is what
+     the telemetry records as span enter/exit and probe rounds. *)
+  let rec settle ~round i = function
     | Proto.Push (l, rest) ->
         label_stacks.(i) <- l :: label_stacks.(i);
-        settle i rest
+        (match telemetry with
+        | Some tm -> Telemetry.push tm ~session:0 ~party:i ~round ~label:l
+        | None -> ());
+        settle ~round i rest
     | Proto.Pop rest ->
         (label_stacks.(i) <-
            (match label_stacks.(i) with [] -> [] | _ :: tl -> tl));
-        settle i rest
+        (match telemetry with
+        | Some tm -> Telemetry.pop tm ~session:0 ~party:i ~round
+        | None -> ());
+        settle ~round i rest
+    | Proto.Probe (key, value, rest) ->
+        (match telemetry with
+        | Some tm ->
+            Telemetry.probe_event tm ~session:0 ~party:i ~round
+              ~byzantine:corrupt.(i) ~key ~value:(value ())
+        | None -> ());
+        settle ~round i rest
     | (Proto.Done _ | Proto.Step _) as s -> s
   in
-  Array.iteri (fun i s -> states.(i) <- settle i s) states;
+  Array.iteri (fun i s -> states.(i) <- settle ~round:0 i s) states;
   let honest_running () =
     let running = ref false in
     Array.iteri
@@ -72,7 +87,7 @@ let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?
           match s with
           | Proto.Step (out, _) -> Array.init n out
           | Proto.Done _ -> Array.make n None
-          | Proto.Push _ | Proto.Pop _ -> assert false)
+          | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false)
         states
     in
     (* 2. Rushing adversary picks the corrupted parties' actual messages. *)
@@ -109,7 +124,14 @@ let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?
                       bytes = String.length m;
                       byzantine = corrupt.(s);
                       label;
+                      session = 0;
                     }
+              | None -> ());
+              (match telemetry with
+              | Some tm ->
+                  Telemetry.message tm ~session:0 ~party:s
+                    ~round:metrics.Metrics.rounds ~bytes:(String.length m)
+                    ~byzantine:corrupt.(s) ()
               | None -> ());
               if corrupt.(s) then
                 Metrics.record_byzantine metrics ~bytes:(String.length m)
@@ -121,14 +143,20 @@ let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?
       match states.(i) with
       | Proto.Step (_, k) ->
           let inbox = Array.init n (fun s -> actual.(s).(i)) in
-          states.(i) <- settle i (k inbox)
+          states.(i) <- settle ~round:metrics.Metrics.rounds i (k inbox)
       | Proto.Done _ -> ()
-      | Proto.Push _ | Proto.Pop _ -> assert false
+      | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
     in
     for i = 0 to n - 1 do
       advance i
     done
   done;
+  (match telemetry with
+  | Some tm ->
+      for i = 0 to n - 1 do
+        Telemetry.finish tm ~session:0 ~party:i ~round:metrics.Metrics.rounds
+      done
+  | None -> ());
   Array.iteri
     (fun i s -> match s with Proto.Done v -> outputs.(i) <- Some v | _ -> ())
     states;

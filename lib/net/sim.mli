@@ -32,6 +32,7 @@ val run :
   ?max_rounds:int ->
   ?allow_excess_corruptions:bool ->
   ?trace:Trace.t ->
+  ?telemetry:Telemetry.t ->
   ?setup:[ `Plain | `Authenticated ] ->
   n:int ->
   t:int ->
@@ -43,7 +44,11 @@ val run :
     [n] parties. [corrupt.(i)] puts party [i] under the adversary's control;
     at most [t] parties may be corrupted unless [allow_excess_corruptions]
     is set (used only by the beyond-the-bound resilience experiment).
-    Raises [Invalid_argument] on inconsistent parameters. *)
+    [telemetry] attaches a recorder (session 0): label scopes become spans,
+    sent messages feed spans and the round timeline, and [Proto.probe]
+    thunks are forced and recorded — summing the recorder's span bits
+    reproduces [metrics.honest_bits] exactly. Raises [Invalid_argument] on
+    inconsistent parameters. *)
 
 val corrupt_first : n:int -> int -> bool array
 (** [corrupt_first ~n k]: the corruption pattern with parties [0..k-1]

@@ -1,10 +1,11 @@
 (** Message-level execution traces.
 
-    When a {!Trace.t} is passed to {!Sim.run}, every delivered message is
-    recorded as an {!event}: round, endpoints, size, whether the sender was
-    corrupted, and the sender's active metrics label. Traces feed the CLI's
-    [trace] command (CSV export for external analysis) and the summary
-    printers used when debugging protocol communication patterns. *)
+    When a {!Trace.t} is passed to {!Sim.run} (or [Engine.run_sim]), every
+    delivered message is recorded as an {!event}: round, endpoints, size,
+    whether the sender was corrupted, the sender's active metrics label, and
+    the session it belongs to. Traces feed the CLI's [trace] command (CSV
+    export for external analysis) and the summary printers used when
+    debugging protocol communication patterns. *)
 
 type event = {
   round : int;
@@ -13,6 +14,7 @@ type event = {
   bytes : int;
   byzantine : bool;  (** sender was corrupted *)
   label : string option;  (** sender's innermost {!Proto.with_label} scope *)
+  session : int;  (** session id; 0 for single-session runs *)
 }
 
 type t = { mutable rev_events : event list; mutable count : int }
@@ -26,6 +28,9 @@ let record trace event =
 let events trace = List.rev trace.rev_events
 let length trace = trace.count
 
+(* The summaries below fold over [rev_events] directly: they are
+   order-insensitive, and [events] would rebuild the whole list per call. *)
+
 (** {1 Summaries} *)
 
 (** Honest bits per round, ascending rounds; rounds without traffic omitted. *)
@@ -36,7 +41,7 @@ let bits_per_round trace =
       if not e.byzantine then
         Hashtbl.replace table e.round
           ((8 * e.bytes) + Option.value ~default:0 (Hashtbl.find_opt table e.round)))
-    (events trace);
+    trace.rev_events;
   Hashtbl.fold (fun r b acc -> (r, b) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
@@ -47,7 +52,7 @@ let sent_matrix trace ~n =
     (fun e ->
       if e.src >= 0 && e.src < n && e.dst >= 0 && e.dst < n then
         m.(e.src).(e.dst) <- m.(e.src).(e.dst) + e.bytes)
-    (events trace);
+    trace.rev_events;
   m
 
 (** The communication-heaviest rounds, descending, at most [top]. *)
@@ -58,7 +63,7 @@ let hottest_rounds ?(top = 10) trace =
 
 (** {1 Export} *)
 
-let csv_header = "round,src,dst,bytes,byzantine,label"
+let csv_header = "round,src,dst,bytes,byzantine,label,session"
 
 let to_csv trace =
   let buf = Buffer.create (64 * (1 + length trace)) in
@@ -67,8 +72,10 @@ let to_csv trace =
   List.iter
     (fun e ->
       Buffer.add_string buf
-        (Printf.sprintf "%d,%d,%d,%d,%b,%s\n" e.round e.src e.dst e.bytes e.byzantine
-           (Option.value ~default:"" e.label)))
+        (Printf.sprintf "%d,%d,%d,%d,%b,%s,%d\n" e.round e.src e.dst e.bytes
+           e.byzantine
+           (Option.value ~default:"" e.label)
+           e.session))
     (events trace);
   Buffer.contents buf
 

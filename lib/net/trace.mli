@@ -1,0 +1,53 @@
+(** Message-level execution traces.
+
+    Passed (optionally) to {!Sim.run} or [Engine.run_sim]: every delivered
+    message becomes an {!event}. Feeds the CLI's [trace] command (CSV export)
+    and the debugging summaries. Recording prepends to an internal reversed
+    list (O(1) per message); the summaries fold over that list once without
+    re-materialising it. *)
+
+type event = {
+  round : int;  (** session-local round, 1-based *)
+  src : int;
+  dst : int;
+  bytes : int;
+  byzantine : bool;  (** sender was corrupted *)
+  label : string option;  (** sender's innermost {!Proto.with_label} scope *)
+  session : int;  (** session id; 0 for single-session runs *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> event -> unit
+(** Append an event (runtimes call this; O(1)). *)
+
+val events : t -> event list
+(** All events in arrival order. Rebuilds a list each call — use the
+    summaries below for repeated aggregation. *)
+
+val length : t -> int
+
+(** {1 Summaries} *)
+
+val bits_per_round : t -> (int * int) list
+(** Honest bits per round, ascending rounds; silent rounds omitted. *)
+
+val sent_matrix : t -> n:int -> int array array
+(** Total bytes sent from each party to each party (out-of-range endpoints
+    ignored defensively). *)
+
+val hottest_rounds : ?top:int -> t -> (int * int) list
+(** The communication-heaviest rounds, descending honest bits; at most
+    [top] (default 10). *)
+
+(** {1 Export} *)
+
+val csv_header : string
+(** ["round,src,dst,bytes,byzantine,label,session"]. *)
+
+val to_csv : t -> string
+(** Header plus one comma-separated line per event, arrival order. *)
+
+val pp_summary : Format.formatter -> t -> n:int -> unit

@@ -195,7 +195,7 @@ let shutdown_party ~n fds me =
 
 (* ---- the single-session runner ------------------------------------------- *)
 
-let run ?t ~n protocol =
+let run ?t ?telemetry ~n protocol =
   if n < 1 then invalid_arg "Net_unix.run: n < 1";
   ignore_sigpipe ();
   let t = match t with Some t -> t | None -> (n - 1) / 3 in
@@ -213,12 +213,34 @@ let run ?t ~n protocol =
       Array.init n (fun j ->
           if j = me then None else Some (Unix.out_channel_of_descr fds.(me).(j)))
     in
+    (* [round] counts the party's completed rounds — the same session-local
+       number the simulator's telemetry records, so the two backends produce
+       identical span/probe rounds for the same protocol. *)
     let rec go state round =
       match state with
       | Net.Proto.Done v ->
           rounds_of.(me) <- round;
+          (match telemetry with
+          | Some tm -> Telemetry.finish tm ~session:0 ~party:me ~round
+          | None -> ());
           v
-      | Net.Proto.Push (_, rest) | Net.Proto.Pop rest -> go rest round
+      | Net.Proto.Push (l, rest) ->
+          (match telemetry with
+          | Some tm -> Telemetry.push tm ~session:0 ~party:me ~round ~label:l
+          | None -> ());
+          go rest round
+      | Net.Proto.Pop rest ->
+          (match telemetry with
+          | Some tm -> Telemetry.pop tm ~session:0 ~party:me ~round
+          | None -> ());
+          go rest round
+      | Net.Proto.Probe (key, value, rest) ->
+          (match telemetry with
+          | Some tm ->
+              Telemetry.probe_event tm ~session:0 ~party:me ~round
+                ~byzantine:false ~key ~value:(value ())
+          | None -> ());
+          go rest round
       | Net.Proto.Step (out, k) ->
           let self = out me in
           Array.iteri
@@ -232,7 +254,13 @@ let run ?t ~n protocol =
                   (match payload with
                   | Some body ->
                       ignore
-                        (Atomic.fetch_and_add bytes_sent (String.length body))
+                        (Atomic.fetch_and_add bytes_sent (String.length body));
+                      (match telemetry with
+                      | Some tm ->
+                          Telemetry.message tm ~session:0 ~party:me
+                            ~round:(round + 1) ~bytes:(String.length body)
+                            ~byzantine:false ()
+                      | None -> ())
                   | None -> ()))
             ocs;
           let inbox =
@@ -276,7 +304,7 @@ type multi_stats = {
   mx_session_msgs : int array;
 }
 
-let run_sessions ?t ~n sessions =
+let run_sessions ?t ?telemetry ~n sessions =
   if n < 1 then invalid_arg "Net_unix.run_sessions: n < 1";
   let count = Array.length sessions in
   if count = 0 then invalid_arg "Net_unix.run_sessions: no sessions";
@@ -318,9 +346,36 @@ let run_sessions ?t ~n sessions =
       Array.init n (fun j ->
           if j = me then None else Some (Unix.out_channel_of_descr fds.(me).(j)))
     in
-    let rec strip = function
-      | Net.Proto.Push (_, rest) | Net.Proto.Pop rest -> strip rest
-      | (Net.Proto.Done _ | Net.Proto.Step _) as s -> s
+    (* Normalize label/probe nodes, feeding the telemetry recorder exactly as
+       the simulator backends do: span/probe rounds are session-local rounds
+       completed (sess_rounds), so cross-backend exports line up. *)
+    let settle idx sid state =
+      let rec go = function
+        | Net.Proto.Push (l, rest) ->
+            (match telemetry with
+            | Some tm ->
+                Telemetry.push tm ~session:sid ~party:me
+                  ~round:sess_rounds.(me).(idx) ~label:l
+            | None -> ());
+            go rest
+        | Net.Proto.Pop rest ->
+            (match telemetry with
+            | Some tm ->
+                Telemetry.pop tm ~session:sid ~party:me
+                  ~round:sess_rounds.(me).(idx)
+            | None -> ());
+            go rest
+        | Net.Proto.Probe (key, value, rest) ->
+            (match telemetry with
+            | Some tm ->
+                Telemetry.probe_event tm ~session:sid ~party:me
+                  ~round:sess_rounds.(me).(idx) ~byzantine:false ~key
+                  ~value:(value ())
+            | None -> ());
+            go rest
+        | (Net.Proto.Done _ | Net.Proto.Step _) as s -> s
+      in
+      go state
     in
     let pending = ref order in
     let live = ref [] in
@@ -333,14 +388,23 @@ let run_sessions ?t ~n sessions =
         | idx :: rest when (let _, s, _ = sessions.(idx) in s <= !round) ->
             pending := rest;
             let sid, _, protocol = sessions.(idx) in
-            (match strip (protocol (Net.Ctx.make ~n ~t ~me)) with
-            | Net.Proto.Done v -> outputs.(idx).(me) <- Some v
+            (match settle idx sid (protocol (Net.Ctx.make ~n ~t ~me)) with
+            | Net.Proto.Done v ->
+                outputs.(idx).(me) <- Some v;
+                (match telemetry with
+                | Some tm -> Telemetry.finish tm ~session:sid ~party:me ~round:0
+                | None -> ())
             | st -> live := !live @ [ (idx, sid, ref st) ]);
             admit ()
         | _ -> ()
       in
       admit ();
       let nlive = List.length !live in
+      (* Engine-round timeline: party 0 records on everyone's behalf (the
+         count is identical at every party in an honest lock-step run). *)
+      (match telemetry with
+      | Some tm when me = 0 -> Telemetry.live_sessions tm ~round:!round ~live:nlive
+      | Some _ | None -> ());
       (* One coalesced frame per peer carries every live session's message. *)
       Array.iteri
         (fun j oc ->
@@ -358,6 +422,13 @@ let run_sessions ?t ~n sessions =
                             ignore (Atomic.fetch_and_add sess_payload.(idx) len);
                             Atomic.incr sess_msgs.(idx);
                             ignore (Atomic.fetch_and_add payload_bytes len);
+                            (match telemetry with
+                            | Some tm ->
+                                Telemetry.message tm ~session:sid ~party:me
+                                  ~round:(sess_rounds.(me).(idx) + 1)
+                                  ~timeline_round:!round ~bytes:len
+                                  ~byzantine:false ()
+                            | None -> ());
                             Some (sid, m)
                         | None -> None)
                     | _ -> None)
@@ -395,9 +466,14 @@ let run_sessions ?t ~n sessions =
                       else List.assoc_opt sid bundles.(s))
                 in
                 sess_rounds.(me).(idx) <- sess_rounds.(me).(idx) + 1;
-                (match strip (k inbox) with
+                (match settle idx sid (k inbox) with
                 | Net.Proto.Done v ->
                     outputs.(idx).(me) <- Some v;
+                    (match telemetry with
+                    | Some tm ->
+                        Telemetry.finish tm ~session:sid ~party:me
+                          ~round:sess_rounds.(me).(idx)
+                    | None -> ());
                     false
                 | st' ->
                     st := st';

@@ -28,13 +28,21 @@ type stats = {
 }
 
 val run :
-  ?t:int -> n:int -> (Net.Ctx.t -> 'a Net.Proto.t) -> 'a array * stats
+  ?t:int ->
+  ?telemetry:Telemetry.t ->
+  n:int ->
+  (Net.Ctx.t -> 'a Net.Proto.t) ->
+  'a array * stats
 (** [run ~n protocol] connects [n] parties over a socket mesh, runs
     [protocol ctx] on a thread per party, and returns their outputs in party
     order. [t] (default [(n-1)/3]) is the resilience parameter handed to the
-    contexts; no party actually misbehaves. Raises whatever a party's
-    protocol raises, and [Failure] on transport-level protocol violations
-    (frame from a wrong round, truncated stream). *)
+    contexts; no party actually misbehaves. [telemetry] attaches a recorder
+    (session 0), using the same round conventions as [Net.Sim.run]: spans and
+    probes are stamped with rounds completed, messages with the 1-based round
+    they are sent in — so an honest simulator run and a socket run of the same
+    protocol export identical span trees and timelines. Raises whatever a
+    party's protocol raises, and [Failure] on transport-level protocol
+    violations (frame from a wrong round, truncated stream). *)
 
 (** {1 Session multiplexing}
 
@@ -69,6 +77,7 @@ type multi_stats = {
 
 val run_sessions :
   ?t:int ->
+  ?telemetry:Telemetry.t ->
   n:int ->
   (int * int * (Net.Ctx.t -> 'a Net.Proto.t)) array ->
   'a array array * multi_stats
@@ -77,5 +86,10 @@ val run_sessions :
     [outputs.(k).(i)] the output of party [i] in session [k] (input order).
     Session ids must be distinct and non-negative; start rounds are engine
     rounds (0-based) and may leave idle gaps, during which empty keep-alive
-    frames maintain round alignment. Raises [Invalid_argument] on malformed
-    session lists, and propagates party failures like {!run}. *)
+    frames maintain round alignment. [telemetry] attaches a recorder: each
+    session records under its [sid], spans and probes are stamped with
+    session-local rounds completed, messages carry the engine round as their
+    timeline round, and party 0 records the live-session count each engine
+    round — mirroring [Engine.run_sim]'s conventions session-for-session.
+    Raises [Invalid_argument] on malformed session lists, and propagates
+    party failures like {!run}. *)

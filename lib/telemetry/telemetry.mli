@@ -1,0 +1,127 @@
+(** Deterministic observability for protocol executions.
+
+    A recorder of type {!t} is threaded (optionally) through the runtimes —
+    [Net.Sim.run], [Net_unix.run]/[run_sessions] and the engine backends —
+    which feed it four kinds of events:
+
+    - {b spans}: every [Proto.Push]/[Proto.Pop] label scope becomes a node in
+      a per-(session × party) span tree, carrying its enter/exit round
+      (session-local, in rounds completed), the honest bits and messages sent
+      while it was the {e innermost} open scope, and its child spans. A
+      synthetic root span (labelled {!root_label}) catches traffic sent
+      outside any scope, so summing span bits over a session reproduces
+      [Metrics.honest_bits] {e exactly} — the ledger-equality invariant the
+      tests assert on every backend.
+    - {b round timelines}: per engine round, honest/byzantine bits and
+      message counts plus (engine backends) the number of live sessions —
+      streamed into per-round cells, never retaining message lists.
+    - {b probes}: protocol-emitted data points ([Proto.probe]), e.g. the
+      convex-hull convergence probes of FINDPREFIX and HIGHCOSTCA. Probe
+      values are rendered lazily by the runtime (bare runs never pay), and
+      occurrences of the same key at one party are numbered so curves can be
+      aligned across parties.
+    - {b meta}: free-form key/value pairs describing the run.
+
+    Everything is exported as canonical JSONL ({!to_jsonl}: sorted buckets,
+    pre-order spans — byte-identical across runs for a fixed seed) and as a
+    compact text report ({!pp_report}: aggregated span tree, per-round
+    heatmap, top-k labels, convergence curves).
+
+    The recorder is thread-safe (one mutex; [Net_unix] runs one thread per
+    party) and has no dependencies beyond the in-repo [Bigint]. *)
+
+type t
+
+val create : unit -> t
+
+val root_label : string
+(** Label of the synthetic per-(session × party) root span, ["(run)"]. *)
+
+(** {1 Recording (called by runtimes, not by protocols)} *)
+
+val set_meta : t -> string -> string -> unit
+(** Attach a key/value describing the run; insertion order is preserved in
+    the export. Re-setting a key overwrites its value in place. *)
+
+val push : t -> session:int -> party:int -> round:int -> label:string -> unit
+(** Open a child span of the innermost open span. [round] is the
+    session-local number of rounds completed. *)
+
+val pop : t -> session:int -> party:int -> round:int -> unit
+(** Close the innermost open span; ignored if only the root is open. *)
+
+val probe_event :
+  t ->
+  session:int ->
+  party:int ->
+  round:int ->
+  byzantine:bool ->
+  key:string ->
+  value:string ->
+  unit
+(** Record a probe data point. Convergence analysis expects [value] to be
+    an optionally-signed hexadecimal integer ([Bigint.to_hex]). *)
+
+val message :
+  t ->
+  session:int ->
+  party:int ->
+  round:int ->
+  ?timeline_round:int ->
+  bytes:int ->
+  byzantine:bool ->
+  unit ->
+  unit
+(** Account one sent message ([8 × bytes] bits). Honest messages are
+    attributed to the sender's innermost open span; byzantine ones only to
+    the timeline. [timeline_round] (default [round]) is the engine round the
+    traffic occupies — it differs from the session-local [round] when
+    sessions are admitted late. *)
+
+val live_sessions : t -> round:int -> live:int -> unit
+(** Record the number of live sessions during an engine round. *)
+
+val finish : t -> session:int -> party:int -> round:int -> unit
+(** Mark a party's instance as finished after [round] session rounds: fixes
+    the root span's exit round (and any span left open by a truncated run). *)
+
+(** {1 Queries} *)
+
+val sessions : t -> int list
+(** Distinct session ids seen, ascending. *)
+
+val honest_bits : t -> session:int -> int
+(** Sum of span bits over the session's buckets — equals the session's
+    [Metrics.honest_bits] (the ledger-equality invariant). *)
+
+val honest_bits_total : t -> int
+
+val label_bits : t -> (string * int) list
+(** Honest bits aggregated by span label across all sessions and parties
+    (the root span reported as ["(unlabeled)"], the same name
+    [Metrics.no_label] uses); zero-bit labels dropped; sorted bits
+    descending, then label ascending — directly comparable to
+    [Metrics.labels]. *)
+
+val probe_keys : t -> session:int -> string list
+(** Distinct probe keys recorded in a session, ascending. *)
+
+val convergence :
+  t -> session:int -> key:string -> (Bigint.t * Bigint.t) list
+(** Per occurrence index of [key] (ascending), the (min, max) hull of the
+    values probed by {e honest} parties at that occurrence. The hull width
+    is [max - min]; for the FINDPREFIX / HIGHCOSTCA probes the width curve
+    is the measured Bounded Pre-Agreement convergence. Parties whose value
+    does not parse as hex are skipped defensively. *)
+
+(** {1 Export} *)
+
+val to_jsonl : t -> string
+(** Canonical JSONL: [meta] lines (insertion order), [round] lines
+    (ascending), [span] lines (buckets by (session, party), spans pre-order),
+    [probe] lines (same bucket order, emission order), one [total] line.
+    Byte-identical across runs of the same deterministic execution. *)
+
+val pp_report : ?top:int -> Format.formatter -> t -> unit
+(** Compact human-readable report: totals, aggregated span tree, per-round
+    heatmap, top-[top] (default 10) labels, convergence curves. *)

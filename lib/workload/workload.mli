@@ -60,6 +60,8 @@ val spread_corrupt : n:int -> t:int -> bool array
 
 val run_int :
   ?max_rounds:int ->
+  ?trace:Net.Trace.t ->
+  ?telemetry:Telemetry.t ->
   n:int ->
   t:int ->
   corrupt:bool array ->
@@ -67,6 +69,7 @@ val run_int :
   inputs:Bigint.t array ->
   (Net.Ctx.t -> Bigint.t -> Bigint.t Net.Proto.t) ->
   report
+(** [trace] and [telemetry] are handed to the underlying {!Net.Sim.run}. *)
 
 (** {1 Protocols under a uniform Bigint interface} *)
 

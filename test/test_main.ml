@@ -33,5 +33,6 @@ let () =
       ("vector", Test_vector.suite);
       ("parallel", Test_parallel.suite);
       ("engine", Test_engine.suite);
+      ("telemetry", Test_telemetry.suite);
       ("edges", Test_edges.suite);
     ]

@@ -151,6 +151,70 @@ let test_corruption_bound_enforced () =
     (Invalid_argument "Ctx.make: requires t < n/3") (fun () ->
       ignore (Ctx.make ~n:3 ~t:1 ~me:0))
 
+let test_metrics_labels_deterministic () =
+  (* Ties in the per-label bit counts break by label, ascending — the order
+     never depends on hash-table iteration. *)
+  let m = Metrics.create () in
+  Metrics.record_honest m ~label:(Some "zeta") ~bytes:4;
+  Metrics.record_honest m ~label:(Some "alpha") ~bytes:4;
+  Metrics.record_honest m ~label:(Some "mid") ~bytes:4;
+  Metrics.record_honest m ~label:(Some "big") ~bytes:9;
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "bits desc, then label asc"
+    [ ("big", 72); ("alpha", 32); ("mid", 32); ("zeta", 32) ]
+    (Metrics.labels m)
+
+let test_metrics_merge () =
+  let mk rounds kvs =
+    let m = Metrics.create () in
+    m.Metrics.rounds <- rounds;
+    List.iter (fun (l, bytes) -> Metrics.record_honest m ~label:(Some l) ~bytes) kvs;
+    m
+  in
+  let agg = Metrics.create () in
+  Metrics.merge ~into:agg (mk 7 [ ("a", 2); ("b", 3) ]);
+  Metrics.merge ~into:agg (mk 12 [ ("a", 5) ]);
+  Metrics.merge ~into:agg (mk 4 [ ("c", 1) ]);
+  (* Label bits accumulate across merges; rounds take the max, and stay the
+     max no matter how many smaller sessions merge in afterwards. *)
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "labels accumulated"
+    [ ("a", 56); ("b", 24); ("c", 8) ]
+    (Metrics.labels agg);
+  Alcotest.check Alcotest.int "rounds = max" 12 agg.Metrics.rounds;
+  Metrics.merge ~into:agg (mk 2 []);
+  Metrics.merge ~into:agg (mk 12 []);
+  Alcotest.check Alcotest.int "rounds still max after repeats" 12 agg.Metrics.rounds;
+  Alcotest.check Alcotest.int "honest bits summed" (8 * (2 + 3 + 5 + 1))
+    agg.Metrics.honest_bits
+
+let test_metrics_snapshot_diff () =
+  let m = Metrics.create () in
+  m.Metrics.rounds <- 3;
+  Metrics.record_honest m ~label:(Some "setup") ~bytes:10;
+  Metrics.record_byzantine m ~bytes:2;
+  let before = Metrics.snapshot m in
+  (* The snapshot is independent: the original keeps accumulating. *)
+  m.Metrics.rounds <- 8;
+  Metrics.record_honest m ~label:(Some "setup") ~bytes:1;
+  Metrics.record_honest m ~label:(Some "search") ~bytes:5;
+  Metrics.record_byzantine m ~bytes:4;
+  Alcotest.check Alcotest.int "snapshot unchanged" (8 * 10)
+    before.Metrics.honest_bits;
+  Alcotest.check Alcotest.int "snapshot rounds unchanged" 3 before.Metrics.rounds;
+  let d = Metrics.diff ~after:m ~before in
+  Alcotest.check Alcotest.int "bits delta" (8 * 6) d.Metrics.honest_bits;
+  Alcotest.check Alcotest.int "msgs delta" 2 d.Metrics.honest_msgs;
+  Alcotest.check Alcotest.int "byz delta" (8 * 4) d.Metrics.byz_bits;
+  Alcotest.check Alcotest.int "rounds delta" 5 d.Metrics.rounds;
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "per-label deltas, zero-delta labels dropped"
+    [ ("search", 40); ("setup", 8) ]
+    (Metrics.labels d)
+
 let test_prng_determinism () =
   let a = Prng.create 42 and b = Prng.create 42 in
   let xs g = List.init 20 (fun _ -> Prng.int g 1000) in
@@ -170,5 +234,9 @@ let suite =
     Alcotest.test_case "round limit" `Quick test_round_limit;
     Alcotest.test_case "staggered termination" `Quick test_early_termination_mix;
     Alcotest.test_case "corruption bound" `Quick test_corruption_bound_enforced;
+    Alcotest.test_case "metrics labels deterministic" `Quick
+      test_metrics_labels_deterministic;
+    Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+    Alcotest.test_case "metrics snapshot/diff" `Quick test_metrics_snapshot_diff;
     Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
   ]

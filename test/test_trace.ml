@@ -40,7 +40,9 @@ let test_event_shape () =
         (e.Trace.src >= 0 && e.Trace.src < n && e.Trace.dst >= 0 && e.Trace.dst < n);
       Alcotest.check Alcotest.bool "no self messages" true (e.Trace.src <> e.Trace.dst);
       Alcotest.check Alcotest.bool "byz flag correct" true
-        (e.Trace.byzantine = (e.Trace.src = 0)))
+        (e.Trace.byzantine = (e.Trace.src = 0));
+      Alcotest.check Alcotest.int "single-session run: session 0" 0
+        e.Trace.session)
     (Trace.events trace)
 
 let test_summaries () =
@@ -71,11 +73,20 @@ let test_csv () =
   Alcotest.check Alcotest.int "one line per event + header"
     (Trace.length trace + 1) (List.length lines);
   Alcotest.check Alcotest.string "header" Trace.csv_header (List.hd lines);
+  Alcotest.check Alcotest.string "header names session last"
+    "round,src,dst,bytes,byzantine,label,session" Trace.csv_header;
   List.iter
     (fun line ->
-      Alcotest.check Alcotest.int "six fields" 6
+      Alcotest.check Alcotest.int "seven fields" 7
         (List.length (String.split_on_char ',' line)))
-    lines
+    lines;
+  (* Single-session runs record everything under session 0. *)
+  List.iter
+    (fun line ->
+      match List.rev (String.split_on_char ',' line) with
+      | last :: _ -> Alcotest.check Alcotest.string "session column" "0" last
+      | [] -> Alcotest.fail "empty csv line")
+    (List.tl lines)
 
 let test_empty_trace () =
   let trace = Trace.create () in
