@@ -26,9 +26,10 @@ test:
 	$(DUNE) runtest
 
 # The smoke pass runs every bench experiment at tiny parameters (no JSON
-# writes) so the harness itself is covered by the tier-1 gate.
+# writes) so the harness itself is covered by the tier-1 gate; --domains 2
+# exercises the multicore fan-out and its bit-identity gates on every host.
 bench-smoke:
-	$(DUNE) exec bench/main.exe -- --smoke
+	$(DUNE) exec bench/main.exe -- --smoke --domains 2
 
 # Every committed BENCH_*.json ledger must parse and have the harness's
 # shape (meta.experiment + non-empty rows).

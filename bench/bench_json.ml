@@ -36,6 +36,42 @@ let emit_value buf = function
   | Bool b -> Buffer.add_string buf (string_of_bool b)
   | Null -> Buffer.add_string buf "null"
 
+(* Shared provenance meta, stamped into every ledger: BENCH_*.json numbers
+   are only comparable across PRs when each file records what produced them
+   (commit, compiler, and — since the multicore layer — the domain count the
+   harness ran with). *)
+
+let domains = ref 1
+let set_domains d = domains := d
+
+let command_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> Some line
+    | _ -> None
+  with _ -> None
+
+let git_rev =
+  lazy
+    (match command_line "git rev-parse --short HEAD 2>/dev/null" with
+    | None | Some "" -> "unknown"
+    | Some rev -> (
+        (* A ledger regenerated from an uncommitted tree must say so: the
+           named commit alone cannot reproduce it. *)
+        match command_line "git status --porcelain 2>/dev/null" with
+        | Some "" -> rev
+        | Some _ -> rev ^ "+dirty"
+        | None -> rev))
+
+let shared_meta () =
+  [
+    ("git_rev", Str (Lazy.force git_rev));
+    ("ocaml_version", Str Sys.ocaml_version);
+    ("domains", Int !domains);
+  ]
+
 let emit_obj buf fields =
   Buffer.add_char buf '{';
   List.iteri
@@ -52,7 +88,7 @@ let emit_obj buf fields =
 let write ~path ~meta ~rows =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"meta\": ";
-  emit_obj buf meta;
+  emit_obj buf (meta @ shared_meta ());
   Buffer.add_string buf ",\n  \"rows\": [";
   List.iteri
     (fun i row ->

@@ -162,6 +162,44 @@ let read_file path =
   close_in ic;
   content
 
+(* Provenance keys Bench_json stamps into every ledger's meta. *)
+let check_provenance meta =
+  (match List.assoc_opt "git_rev" meta with
+  | Some (Str rev) when rev <> "" -> ()
+  | Some _ -> failwith "meta.git_rev is not a non-empty string"
+  | None -> failwith "meta has no \"git_rev\" key");
+  (match List.assoc_opt "ocaml_version" meta with
+  | Some (Str v) when v <> "" -> ()
+  | Some _ -> failwith "meta.ocaml_version is not a non-empty string"
+  | None -> failwith "meta has no \"ocaml_version\" key");
+  match List.assoc_opt "domains" meta with
+  | Some (Num d) when d >= 1. && Float.is_integer d -> ()
+  | Some _ -> failwith "meta.domains is not an integer >= 1"
+  | None -> failwith "meta has no \"domains\" key"
+
+(* The parallel experiment's rows carry the multicore acceptance data; a
+   ledger missing the identity flag or the speedup column is useless. *)
+let check_parallel_row i row =
+  let field key =
+    match List.assoc_opt key row with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "rows[%d] has no %S key" i key)
+  in
+  (match field "domains" with
+  | Num d when d >= 1. && Float.is_integer d -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].domains is not an integer >= 1" i));
+  (match field "cells_per_s" with
+  | Num r when r > 0. -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].cells_per_s is not positive" i));
+  (match field "speedup_vs_seq" with
+  | Num _ -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].speedup_vs_seq is not a number" i));
+  match field "identical" with
+  | Bool true -> ()
+  | Bool false ->
+      failwith (Printf.sprintf "rows[%d].identical is false: bit-identity broken" i)
+  | _ -> failwith (Printf.sprintf "rows[%d].identical is not a boolean" i)
+
 let validate path =
   let json =
     try parse (read_file path) with
@@ -170,21 +208,25 @@ let validate path =
   in
   match json with
   | Obj fields -> (
-      (match List.assoc_opt "meta" fields with
-      | Some (Obj meta) -> (
-          match List.assoc_opt "experiment" meta with
-          | Some (Str name) when name <> "" -> ()
-          | Some _ -> failwith "meta.experiment is not a non-empty string"
-          | None -> failwith "meta has no \"experiment\" key")
-      | Some _ -> failwith "\"meta\" is not an object"
-      | None -> failwith "no top-level \"meta\" key");
+      let experiment =
+        match List.assoc_opt "meta" fields with
+        | Some (Obj meta) -> (
+            check_provenance meta;
+            match List.assoc_opt "experiment" meta with
+            | Some (Str name) when name <> "" -> name
+            | Some _ -> failwith "meta.experiment is not a non-empty string"
+            | None -> failwith "meta has no \"experiment\" key")
+        | Some _ -> failwith "\"meta\" is not an object"
+        | None -> failwith "no top-level \"meta\" key"
+      in
       match List.assoc_opt "rows" fields with
       | Some (Arr []) -> failwith "\"rows\" is empty"
       | Some (Arr rows) ->
           List.iteri
             (fun i row ->
               match row with
-              | Obj (_ :: _) -> ()
+              | Obj ((_ :: _) as fields) ->
+                  if experiment = "parallel" then check_parallel_row i fields
               | Obj [] -> failwith (Printf.sprintf "rows[%d] is empty" i)
               | _ -> failwith (Printf.sprintf "rows[%d] is not an object" i))
             rows;

@@ -82,15 +82,32 @@ let export_telemetry tm path =
   Printf.printf "telemetry:       wrote JSONL to %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* --domains validation, shared by run/engine/telemetry: reject nonsense,
+   clamp to the hardware bound (oversubscribing the cores only adds barrier
+   overhead; bit-identity makes the clamp observable in wall-clock alone),
+   and report the decision in the run header. *)
+let effective_domains requested =
+  if requested < 1 then begin
+    Printf.eprintf "error: --domains must be >= 1 (got %d)\n" requested;
+    exit 2
+  end;
+  let recommended = Pool.recommended () in
+  let eff = min requested recommended in
+  Printf.printf "domains:         requested %d, effective %d (host recommends %d)\n"
+    requested eff recommended;
+  eff
+
+(* ------------------------------------------------------------------ *)
 (* The run command                                                     *)
 (* ------------------------------------------------------------------ *)
 
 let run_scenario n t protocol_name workload_name adversary_name attack_name bits
-    aa_rounds seed verbose telemetry_path =
+    aa_rounds seed verbose domains_req telemetry_path =
   if 3 * t >= n then begin
     Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
     exit 2
   end;
+  let domains = effective_domains domains_req in
   let rng = Prng.create seed in
   let lookup what table name =
     match List.assoc_opt name table with
@@ -133,7 +150,7 @@ let run_scenario n t protocol_name workload_name adversary_name attack_name bits
       telemetry_path
   in
   let report =
-    Workload.run_int ?telemetry ~n ~t ~corrupt ~adversary ~inputs
+    Workload.run_int ?telemetry ~domains ~n ~t ~corrupt ~adversary ~inputs
       protocol.Workload.run
   in
   (match (telemetry, telemetry_path) with
@@ -207,11 +224,12 @@ let trace_scenario n t protocol_name workload_name adversary_name attack_name bi
 (* ------------------------------------------------------------------ *)
 
 let engine_scenario n t sessions spacing backend adversary_name attack_name bits
-    seed verbose telemetry_path =
+    seed verbose domains_req telemetry_path =
   if 3 * t >= n then begin
     Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
     exit 2
   end;
+  let domains = effective_domains domains_req in
   if sessions < 1 then begin
     Printf.eprintf "error: --sessions must be at least 1\n";
     exit 2
@@ -281,8 +299,8 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
       telemetry_path
   in
   let outcome =
-    if unix then Engine.run_unix ?telemetry ~t ~n specs
-    else Engine.run_sim ?telemetry ~n ~t ~corrupt specs
+    if unix then Engine.run_unix ?telemetry ~domains ~t ~n specs
+    else Engine.run_sim ?telemetry ~domains ~n ~t ~corrupt specs
   in
   (match (telemetry, telemetry_path) with
   | Some tm, Some path -> export_telemetry tm path
@@ -344,11 +362,12 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
 (* ------------------------------------------------------------------ *)
 
 let telemetry_scenario n t protocol_name workload_name adversary_name
-    attack_name bits aa_rounds seed top jsonl_path =
+    attack_name bits aa_rounds seed top domains_req jsonl_path =
   if 3 * t >= n then begin
     Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
     exit 2
   end;
+  let domains = effective_domains domains_req in
   let rng = Prng.create seed in
   let lookup what table name =
     match List.assoc_opt name table with
@@ -380,7 +399,7 @@ let telemetry_scenario n t protocol_name workload_name adversary_name
       ]
   in
   let report =
-    Workload.run_int ~telemetry:tm ~n ~t ~corrupt ~adversary ~inputs
+    Workload.run_int ~telemetry:tm ~domains ~n ~t ~corrupt ~adversary ~inputs
       protocol.Workload.run
   in
   Format.printf "%a" (Telemetry.pp_report ~top) tm;
@@ -469,6 +488,17 @@ let file_arg =
           "Load the whole configuration from a scenario file (key = value \
            lines; see the Scenario library). Overrides the other options.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Domains (cores) to run the per-round party/session steps on. \
+           Values below 1 are rejected; values above the host's recommended \
+           domain count are clamped to it, and the effective value is \
+           printed in the run header. Results are bit-identical for every \
+           value — only wall-clock changes.")
+
 let telemetry_file_arg =
   Arg.(
     value
@@ -477,11 +507,11 @@ let telemetry_file_arg =
         ~doc:"Record telemetry (spans, timelines, probes) and write it as JSONL.")
 
 let run_dispatch file n t protocol workload adversary attack bits aa_rounds seed
-    verbose telemetry =
+    verbose domains telemetry =
   match file with
   | None ->
       run_scenario n t protocol workload adversary attack bits aa_rounds seed
-        verbose telemetry
+        verbose domains telemetry
   | Some path -> (
       match Scenario.load path with
       | Error msg ->
@@ -490,7 +520,8 @@ let run_dispatch file n t protocol workload adversary attack bits aa_rounds seed
       | Ok s ->
           run_scenario s.Scenario.n s.Scenario.t s.Scenario.protocol
             s.Scenario.workload s.Scenario.adversary s.Scenario.attack
-            s.Scenario.bits s.Scenario.aa_rounds s.Scenario.seed verbose telemetry)
+            s.Scenario.bits s.Scenario.aa_rounds s.Scenario.seed verbose domains
+            telemetry)
 
 let run_cmd =
   let doc = "run one Convex Agreement scenario in the simulator" in
@@ -498,7 +529,7 @@ let run_cmd =
     Term.(
       const run_dispatch $ file_arg $ n_arg $ t_arg $ protocol_arg $ workload_arg
       $ adversary_arg $ attack_arg $ bits_arg $ aa_rounds_arg $ seed_arg
-      $ verbose_arg $ telemetry_file_arg)
+      $ verbose_arg $ domains_arg $ telemetry_file_arg)
 
 let list_cmd =
   let doc = "list protocols, workloads, adversaries and input attacks" in
@@ -546,7 +577,7 @@ let engine_cmd =
     Term.(
       const engine_scenario $ n_arg $ t_arg $ sessions_arg $ spacing_arg
       $ backend_arg $ adversary_arg $ attack_arg $ bits_arg $ seed_arg
-      $ verbose_arg $ telemetry_file_arg)
+      $ verbose_arg $ domains_arg $ telemetry_file_arg)
 
 let top_arg =
   Arg.(
@@ -567,7 +598,7 @@ let telemetry_cmd =
     Term.(
       const telemetry_scenario $ n_arg $ t_arg $ protocol_arg $ workload_arg
       $ adversary_arg $ attack_arg $ bits_arg $ aa_rounds_arg $ seed_arg
-      $ top_arg $ jsonl_arg)
+      $ top_arg $ domains_arg $ jsonl_arg)
 
 let () =
   let doc = "communication-optimal convex agreement (PODC 2024) scenario runner" in

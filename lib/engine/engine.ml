@@ -119,6 +119,11 @@ type 'a live = {
   l_labels : string list array;
   l_metrics : Metrics.t;
   l_admitted : int;
+  l_telemetry : Telemetry.t option;
+      (* Where this session's span/probe/message events go: the caller's
+         recorder when running sequentially, a session-private shard when
+         running on the pool (merged back in session-index order at the
+         end). Metrics are session-private either way. *)
 }
 
 (* Normalize label/probe nodes so that every state is [Done] or [Step].
@@ -139,10 +144,10 @@ let rec settle ~telemetry ~corrupt ~sid ~round labels i = function
       settle ~telemetry ~corrupt ~sid ~round labels i rest
   | Proto.Probe (key, value, rest) ->
       (match telemetry with
-      | Some tm ->
+      | Some tm when Telemetry.capture_probes tm ->
           Telemetry.probe_event tm ~session:sid ~party:i ~round
             ~byzantine:corrupt.(i) ~key ~value:(value ())
-      | None -> ());
+      | Some _ | None -> ());
       settle ~telemetry ~corrupt ~sid ~round labels i rest
   | (Proto.Done _ | Proto.Step _) as s -> s
 
@@ -156,12 +161,17 @@ let honest_running ~corrupt states =
     states;
   !running
 
-let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
-    specs =
+let run_sim ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
+    ~n ~t ~corrupt specs =
   if Array.length corrupt <> n then invalid_arg "Engine.run_sim: corrupt array size";
+  if domains < 1 then invalid_arg "Engine.run_sim: domains < 1";
   let n_corrupt = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 corrupt in
   if n_corrupt > t then invalid_arg "Engine.run_sim: more corruptions than t";
   validate_specs specs;
+  let pool = if domains > 1 then Some (Pool.shared ()) else None in
+  (* Session-index-ordered telemetry shards, merged into the caller's
+     recorder after the run (see [Telemetry.merge]). *)
+  let shards = ref [] in
   let pending = ref (admission_order specs) in
   let live = ref [] in
   let finished = ref [] in
@@ -171,7 +181,7 @@ let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
   let frame_bytes = ref 0 in
   let payload_bytes = ref 0 in
   let retire l =
-    (match telemetry with
+    (match l.l_telemetry with
     | Some tm ->
         for i = 0 to n - 1 do
           Telemetry.finish tm ~session:l.l_sid ~party:i
@@ -201,6 +211,19 @@ let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
     pending := later;
     List.iter
       (fun (idx, spec) ->
+        let session_telemetry =
+          match (telemetry, pool) with
+          | Some tm, Some _ ->
+              (* Shards must capture exactly what the target recorder would
+                 have, or the merged export diverges from the sequential
+                 run's — inherit the probe flag. *)
+              let shard =
+                Telemetry.create ~probes:(Telemetry.capture_probes tm) ()
+              in
+              shards := (idx, shard) :: !shards;
+              Some shard
+          | _ -> telemetry
+        in
         let labels = Array.make n [] in
         let states =
           Array.init n (fun me -> spec.protocol (Ctx.make ~n ~t ~me))
@@ -208,7 +231,8 @@ let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
         Array.iteri
           (fun i s ->
             states.(i) <-
-              settle ~telemetry ~corrupt ~sid:spec.sid ~round:0 labels i s)
+              settle ~telemetry:session_telemetry ~corrupt ~sid:spec.sid
+                ~round:0 labels i s)
           states;
         let l =
           {
@@ -219,6 +243,7 @@ let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
             l_labels = labels;
             l_metrics = Metrics.create ();
             l_admitted = !er;
+            l_telemetry = session_telemetry;
           }
         in
         if honest_running ~corrupt states then live := !live @ [ l ]
@@ -231,35 +256,104 @@ let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
        admission order (matching the unix backend's frame contents). *)
     let bundles = Array.init n (fun _ -> Array.make n []) in
     (* 1–4. Step every live session by one of its own rounds, exactly as
-       Sim.run would. *)
-    List.iter
-      (fun l ->
-        let metrics = l.l_metrics in
-        metrics.Metrics.rounds <- metrics.Metrics.rounds + 1;
-        let states = l.l_states in
-        let prescribed =
-          Array.map
-            (fun s ->
-              match s with
-              | Proto.Step (out, _) -> Array.init n out
-              | Proto.Done _ -> Array.make n None
-              | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false)
-            states
-        in
-        let view =
-          { Adversary.round = metrics.Metrics.rounds; n; t; corrupt; prescribed }
-        in
-        let actual =
-          Array.init n (fun s ->
-              if not corrupt.(s) then prescribed.(s)
-              else
-                Array.init n (fun r ->
-                    match l.l_adversary.Adversary.act view ~sender:s ~recipient:r with
-                    | Some m when String.length m > Sim.max_byzantine_bytes ->
-                        Some (String.sub m 0 Sim.max_byzantine_bytes)
-                    | other -> other))
-        in
-        (* Accounting: per-session metrics see raw payloads (self free). *)
+       Sim.run would. Sessions are independent within an engine round —
+       each touches only its own states, labels, metrics, adversary PRNG and
+       telemetry recorder — so this phase shards across the pool; everything
+       that writes shared state (trace, bundles, naive-frame counter) is
+       deferred to the sequential pass below, replayed in admission order
+       from the sends each session captured, so every byte and every event
+       order matches the [domains:1] run. *)
+    let live_arr = Array.of_list !live in
+    let k_live = Array.length live_arr in
+    (* Per session, filled by its own step: the round's actual message
+       matrix and each sender's innermost label at send time (read before
+       delivery mutates the label stacks). *)
+    let stepped = Array.make k_live [||] in
+    let send_labels = Array.make k_live [||] in
+    let naive = Array.make k_live 0 in
+    let round_now = !er in
+    let step li =
+      let l = live_arr.(li) in
+      let metrics = l.l_metrics in
+      metrics.Metrics.rounds <- metrics.Metrics.rounds + 1;
+      let states = l.l_states in
+      let prescribed =
+        Array.map
+          (fun s ->
+            match s with
+            | Proto.Step (out, _) -> Array.init n out
+            | Proto.Done _ -> Array.make n None
+            | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false)
+          states
+      in
+      let view =
+        { Adversary.round = metrics.Metrics.rounds; n; t; corrupt; prescribed }
+      in
+      let actual =
+        Array.init n (fun s ->
+            if not corrupt.(s) then prescribed.(s)
+            else
+              Array.init n (fun r ->
+                  match l.l_adversary.Adversary.act view ~sender:s ~recipient:r with
+                  | Some m when String.length m > Sim.max_byzantine_bytes ->
+                      Some (String.sub m 0 Sim.max_byzantine_bytes)
+                  | other -> other))
+      in
+      let labels_now =
+        Array.map
+          (function [] -> None | lb :: _ -> Some lb)
+          l.l_labels
+      in
+      (* Accounting: per-session metrics see raw payloads (self free). *)
+      for s = 0 to n - 1 do
+        for r = 0 to n - 1 do
+          if s <> r then
+            match actual.(s).(r) with
+            | None -> ()
+            | Some m ->
+                (match l.l_telemetry with
+                | Some tm ->
+                    Telemetry.message tm ~session:l.l_sid ~party:s
+                      ~round:metrics.Metrics.rounds ~timeline_round:round_now
+                      ~bytes:(String.length m) ~byzantine:corrupt.(s) ()
+                | None -> ());
+                if corrupt.(s) then
+                  Metrics.record_byzantine metrics ~bytes:(String.length m)
+                else
+                  Metrics.record_honest metrics ~label:labels_now.(s)
+                    ~bytes:(String.length m)
+        done
+      done;
+      (* A frame-per-session transport would send one frame per peer from
+         every party whose instance is still stepping (counted before
+         delivery advances the states). *)
+      Array.iter
+        (function Proto.Step _ -> naive.(li) <- naive.(li) + (n - 1) | _ -> ())
+        states;
+      (* Deliver and advance. *)
+      for i = 0 to n - 1 do
+        match states.(i) with
+        | Proto.Step (_, k) ->
+            let inbox = Array.init n (fun s -> actual.(s).(i)) in
+            states.(i) <-
+              settle ~telemetry:l.l_telemetry ~corrupt ~sid:l.l_sid
+                ~round:metrics.Metrics.rounds l.l_labels i (k inbox)
+        | Proto.Done _ -> ()
+        | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
+      done;
+      stepped.(li) <- actual;
+      send_labels.(li) <- labels_now
+    in
+    (match pool with
+    | Some pool -> Pool.parallel_for ~domains pool ~n:k_live step
+    | None ->
+        for li = 0 to k_live - 1 do
+          step li
+        done);
+    (* Sequential replay of the shared-state effects, in admission order. *)
+    Array.iteri
+      (fun li l ->
+        let actual = stepped.(li) in
         for s = 0 to n - 1 do
           for r = 0 to n - 1 do
             if s <> r then
@@ -267,51 +361,23 @@ let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
               | None -> ()
               | Some m ->
                   bundles.(s).(r) <- (l.l_sid, m) :: bundles.(s).(r);
-                  let label =
-                    match l.l_labels.(s) with [] -> None | lb :: _ -> Some lb
-                  in
                   (match trace with
                   | Some tr ->
                       Trace.record tr
                         {
-                          Trace.round = metrics.Metrics.rounds;
+                          Trace.round = l.l_metrics.Metrics.rounds;
                           src = s;
                           dst = r;
                           bytes = String.length m;
                           byzantine = corrupt.(s);
-                          label;
+                          label = send_labels.(li).(s);
                           session = l.l_sid;
                         }
-                  | None -> ());
-                  (match telemetry with
-                  | Some tm ->
-                      Telemetry.message tm ~session:l.l_sid ~party:s
-                        ~round:metrics.Metrics.rounds ~timeline_round:!er
-                        ~bytes:(String.length m) ~byzantine:corrupt.(s) ()
-                  | None -> ());
-                  if corrupt.(s) then
-                    Metrics.record_byzantine metrics ~bytes:(String.length m)
-                  else
-                    Metrics.record_honest metrics ~label ~bytes:(String.length m)
+                  | None -> ())
           done
         done;
-        (* A frame-per-session transport would send one frame per peer from
-           every party whose instance is still stepping. *)
-        Array.iter
-          (function Proto.Step _ -> naive_frames := !naive_frames + (n - 1) | _ -> ())
-          states;
-        (* Deliver and advance. *)
-        for i = 0 to n - 1 do
-          match states.(i) with
-          | Proto.Step (_, k) ->
-              let inbox = Array.init n (fun s -> actual.(s).(i)) in
-              states.(i) <-
-                settle ~telemetry ~corrupt ~sid:l.l_sid
-                  ~round:metrics.Metrics.rounds l.l_labels i (k inbox)
-          | Proto.Done _ -> ()
-          | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
-        done)
-      !live;
+        naive_frames := !naive_frames + naive.(li))
+      live_arr;
     (* 5. Transport accounting: one coalesced frame per ordered pair. *)
     for s = 0 to n - 1 do
       for r = 0 to n - 1 do
@@ -338,6 +404,15 @@ let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
         !live;
     incr er
   done;
+  (* Fold the per-session telemetry shards back into the caller's recorder,
+     in session-index order — the export is then byte-identical to the
+     sequential run's. *)
+  (match telemetry with
+  | Some tm ->
+      List.iter
+        (fun (_, shard) -> Telemetry.merge ~into:tm shard)
+        (List.sort (fun (a, _) (b, _) -> compare a b) !shards)
+  | None -> ());
   let results =
     List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) !finished)
   in
@@ -362,12 +437,12 @@ let run_sim ?(max_rounds = default_max_rounds) ?trace ?telemetry ~n ~t ~corrupt
 
 (* ---- socket backend ------------------------------------------------------- *)
 
-let run_unix ?t ?telemetry ~n specs =
+let run_unix ?t ?telemetry ?domains ~n specs =
   validate_specs specs;
   let sessions =
     Array.of_list (List.map (fun s -> (s.sid, s.start_round, s.protocol)) specs)
   in
-  let outs, st = Net_unix.run_sessions ?t ?telemetry ~n sessions in
+  let outs, st = Net_unix.run_sessions ?t ?telemetry ?domains ~n sessions in
   let results =
     List.mapi
       (fun i spec ->

@@ -85,6 +85,7 @@ val default_max_rounds : int
 
 val run_sim :
   ?max_rounds:int ->
+  ?domains:int ->
   ?trace:Net.Trace.t ->
   ?telemetry:Telemetry.t ->
   n:int ->
@@ -100,18 +101,36 @@ val run_sim :
     engine round as their timeline round, and the live-session count is
     recorded once per engine round — summing a session's span bits
     reproduces that session's [Metrics.honest_bits] exactly, and the
-    conventions match {!Net_unix.run_sessions} session-for-session. Raises
-    [Invalid_argument] on inconsistent parameters (corrupt-array size, more
-    corruptions than [t], duplicate or negative sids, negative start rounds,
-    empty session list). *)
+    conventions match {!Net_unix.run_sessions} session-for-session.
+
+    [domains] (default 1) shards the live sessions across the shared {!Pool}
+    at every engine-round barrier. Sequential-equals-parallel bit-identity is
+    a hard invariant: each session steps on one domain with its own states,
+    adversary PRNG, [Metrics.t] and telemetry shard, while everything shared
+    — admission, traces, frame assembly, the aggregate ledger — stays on the
+    calling domain in admission order, and the telemetry shards are merged
+    back in session-index order ({!Telemetry.merge}); outputs, per-session
+    metrics, the aggregate ledger and the telemetry JSONL are byte-identical
+    for every domain count (asserted by [test/test_multicore.ml]).
+
+    Raises [Invalid_argument] on inconsistent parameters (corrupt-array
+    size, more corruptions than [t], duplicate or negative sids, negative
+    start rounds, empty session list, [domains < 1]). *)
 
 val run_unix :
-  ?t:int -> ?telemetry:Telemetry.t -> n:int -> 'a spec list -> 'a outcome
+  ?t:int ->
+  ?telemetry:Telemetry.t ->
+  ?domains:int ->
+  n:int ->
+  'a spec list ->
+  'a outcome
 (** Execute every session over one shared Unix socket mesh
     ({!Net_unix.run_sessions}): one thread per party, one coalesced frame
     per ordered pair per engine round. Honest executions only — the specs'
-    adversaries are ignored. Outputs, per-session rounds and honest bits are
-    bit-identical to {!run_sim} with no corruptions (asserted by the
+    adversaries are ignored. [domains] parallelizes each party's per-round
+    session advances on the shared {!Pool} (bit-identical, see
+    {!Net_unix.run_sessions}). Outputs, per-session rounds and honest bits
+    are bit-identical to {!run_sim} with no corruptions (asserted by the
     cross-backend tests). *)
 
 val honest_outputs : corrupt:bool array -> 'a session_result -> 'a list

@@ -34,6 +34,11 @@ let create () =
 
 let no_label = "(unlabeled)"
 
+let is_empty m =
+  m.rounds = 0 && m.honest_bits = 0 && m.honest_msgs = 0 && m.byz_bits = 0
+  && m.byz_msgs = 0
+  && Hashtbl.length m.by_label = 0
+
 let record_honest m ~label ~bytes =
   let bits = 8 * bytes in
   m.honest_bits <- m.honest_bits + bits;

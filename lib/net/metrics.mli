@@ -10,7 +10,14 @@
 
     Per-label counters (see {!Proto.with_label}) attribute honest bits to the
     sending party's innermost active label — the basis of the
-    component-ablation experiment (T5). *)
+    component-ablation experiment (T5).
+
+    {b Threading contract}: a [t] is plain mutable state with no internal
+    locking — single writer per domain. Parallel runs give every shard
+    (session, in the engine's case) a private collector and aggregate via
+    {!merge} afterwards; since the counters are sums (and [rounds] a max),
+    merging shards in session order reproduces the single-collector table
+    exactly, label tie-breaks included. *)
 
 type t = {
   mutable rounds : int;
@@ -25,6 +32,10 @@ val create : unit -> t
 
 val no_label : string
 (** Label under which unlabelled traffic is recorded. *)
+
+val is_empty : t -> bool
+(** True iff nothing has been recorded: every counter (rounds included) is
+    zero and the label table is empty — the state {!create} returns. *)
 
 val record_honest : t -> label:string option -> bytes:int -> unit
 val record_byzantine : t -> bytes:int -> unit

@@ -23,8 +23,10 @@ let default_max_rounds = 20_000
 let max_byzantine_bytes = 1 lsl 22
 
 let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?trace
-    ?telemetry ?(setup = `Plain) ~n ~t ~corrupt ~adversary protocol =
+    ?telemetry ?(domains = 1) ?(setup = `Plain) ~n ~t ~corrupt ~adversary protocol =
   if Array.length corrupt <> n then invalid_arg "Sim.run: corrupt array size";
+  if domains < 1 then invalid_arg "Sim.run: domains < 1";
+  let pool = if domains > 1 then Some (Pool.shared ()) else None in
   let make_ctx =
     match setup with
     | `Plain -> Ctx.make
@@ -58,10 +60,12 @@ let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?
         settle ~round i rest
     | Proto.Probe (key, value, rest) ->
         (match telemetry with
-        | Some tm ->
+        | Some tm when Telemetry.capture_probes tm ->
+            (* The thunk renders the party's full candidate value (O(ℓ));
+               only force it when this recorder keeps probes. *)
             Telemetry.probe_event tm ~session:0 ~party:i ~round
               ~byzantine:corrupt.(i) ~key ~value:(value ())
-        | None -> ());
+        | Some _ | None -> ());
         settle ~round i rest
     | (Proto.Done _ | Proto.Step _) as s -> s
   in
@@ -138,7 +142,12 @@ let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?
               else Metrics.record_honest metrics ~label ~bytes:(String.length m)
       done
     done;
-    (* 4. Deliver and advance. *)
+    (* 4. Deliver and advance. Party [i]'s continuation reads the shared
+       [actual] matrix (frozen for the round) and writes only its own slots —
+       [states.(i)], [label_stacks.(i)] and the (0, i) telemetry bucket — so
+       the parties of one round advance in parallel without changing a byte:
+       accounting (metrics, trace, adversary PRNG order) stayed sequential
+       above. *)
     let advance i =
       match states.(i) with
       | Proto.Step (_, k) ->
@@ -147,9 +156,12 @@ let run ?(max_rounds = default_max_rounds) ?(allow_excess_corruptions = false) ?
       | Proto.Done _ -> ()
       | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
     in
-    for i = 0 to n - 1 do
-      advance i
-    done
+    (match pool with
+    | Some pool -> Pool.parallel_for ~domains pool ~n advance
+    | None ->
+        for i = 0 to n - 1 do
+          advance i
+        done)
   done;
   (match telemetry with
   | Some tm ->

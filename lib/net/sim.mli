@@ -33,6 +33,7 @@ val run :
   ?allow_excess_corruptions:bool ->
   ?trace:Trace.t ->
   ?telemetry:Telemetry.t ->
+  ?domains:int ->
   ?setup:[ `Plain | `Authenticated ] ->
   n:int ->
   t:int ->
@@ -47,8 +48,12 @@ val run :
     [telemetry] attaches a recorder (session 0): label scopes become spans,
     sent messages feed spans and the round timeline, and [Proto.probe]
     thunks are forced and recorded — summing the recorder's span bits
-    reproduces [metrics.honest_bits] exactly. Raises [Invalid_argument] on
-    inconsistent parameters. *)
+    reproduces [metrics.honest_bits] exactly. [domains] (default 1) advances
+    the [n] parties of each round in parallel on the shared {!Pool}; outputs,
+    metrics, trace and telemetry are bit-identical to the sequential run
+    (each party's continuation touches only its own state, and accounting
+    stays on the calling domain). Raises [Invalid_argument] on inconsistent
+    parameters. *)
 
 val corrupt_first : n:int -> int -> bool array
 (** [corrupt_first ~n k]: the corruption pattern with parties [0..k-1]

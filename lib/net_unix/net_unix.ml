@@ -236,10 +236,10 @@ let run ?t ?telemetry ~n protocol =
           go rest round
       | Net.Proto.Probe (key, value, rest) ->
           (match telemetry with
-          | Some tm ->
+          | Some tm when Telemetry.capture_probes tm ->
               Telemetry.probe_event tm ~session:0 ~party:me ~round
                 ~byzantine:false ~key ~value:(value ())
-          | None -> ());
+          | Some _ | None -> ());
           go rest round
       | Net.Proto.Step (out, k) ->
           let self = out me in
@@ -304,8 +304,13 @@ type multi_stats = {
   mx_session_msgs : int array;
 }
 
-let run_sessions ?t ?telemetry ~n sessions =
+let run_sessions ?t ?telemetry ?(domains = 1) ~n sessions =
   if n < 1 then invalid_arg "Net_unix.run_sessions: n < 1";
+  if domains < 1 then invalid_arg "Net_unix.run_sessions: domains < 1";
+  (* Party threads are systhreads of the main domain; pool workers are real
+     domains, so the per-round session advance below genuinely parallelizes
+     the protocol computation even though the parties themselves don't. *)
+  let pool = if domains > 1 then Some (Pool.shared ()) else None in
   let count = Array.length sessions in
   if count = 0 then invalid_arg "Net_unix.run_sessions: no sessions";
   let seen = Hashtbl.create count in
@@ -367,11 +372,11 @@ let run_sessions ?t ?telemetry ~n sessions =
             go rest
         | Net.Proto.Probe (key, value, rest) ->
             (match telemetry with
-            | Some tm ->
+            | Some tm when Telemetry.capture_probes tm ->
                 Telemetry.probe_event tm ~session:sid ~party:me
                   ~round:sess_rounds.(me).(idx) ~byzantine:false ~key
                   ~value:(value ())
-            | None -> ());
+            | Some _ | None -> ());
             go rest
         | (Net.Proto.Done _ | Net.Proto.Step _) as s -> s
       in
@@ -454,32 +459,49 @@ let run_sessions ?t ?telemetry ~n sessions =
         Array.init n (fun j ->
             if j = me then [] else Mailbox.take mailboxes.(me).(j) ~round:!round)
       in
-      (* Deliver each live session's inbox slice and advance it. *)
-      live :=
-        List.filter
-          (fun (idx, sid, st) ->
-            match !st with
-            | Net.Proto.Step (_, k) ->
-                let inbox =
-                  Array.init n (fun s ->
-                      if s = me then List.assoc sid selfs
-                      else List.assoc_opt sid bundles.(s))
-                in
-                sess_rounds.(me).(idx) <- sess_rounds.(me).(idx) + 1;
-                (match settle idx sid (k inbox) with
-                | Net.Proto.Done v ->
-                    outputs.(idx).(me) <- Some v;
-                    (match telemetry with
-                    | Some tm ->
-                        Telemetry.finish tm ~session:sid ~party:me
-                          ~round:sess_rounds.(me).(idx)
-                    | None -> ());
-                    false
-                | st' ->
-                    st := st';
-                    true)
-            | _ -> false)
-          !live;
+      (* Deliver each live session's inbox slice and advance it. Sessions
+         are independent here — each advance touches only its own state ref,
+         its own output/rounds slots and its own (sid, me) telemetry bucket,
+         and reads the immutable [selfs]/[bundles] — so the loop shards
+         across the pool with a bit-identical outcome (liveness is collected
+         by position afterwards). *)
+      let live_arr = Array.of_list !live in
+      let keep = Array.make (Array.length live_arr) false in
+      let advance li =
+        let idx, sid, st = live_arr.(li) in
+        match !st with
+        | Net.Proto.Step (_, k) ->
+            let inbox =
+              Array.init n (fun s ->
+                  if s = me then List.assoc sid selfs
+                  else List.assoc_opt sid bundles.(s))
+            in
+            sess_rounds.(me).(idx) <- sess_rounds.(me).(idx) + 1;
+            (match settle idx sid (k inbox) with
+            | Net.Proto.Done v ->
+                outputs.(idx).(me) <- Some v;
+                (match telemetry with
+                | Some tm ->
+                    Telemetry.finish tm ~session:sid ~party:me
+                      ~round:sess_rounds.(me).(idx)
+                | None -> ())
+            | st' ->
+                st := st';
+                keep.(li) <- true)
+        | _ -> ()
+      in
+      (match pool with
+      | Some pool ->
+          Pool.parallel_for ~domains pool ~n:(Array.length live_arr) advance
+      | None ->
+          for li = 0 to Array.length live_arr - 1 do
+            advance li
+          done);
+      let kept = ref [] in
+      for li = Array.length live_arr - 1 downto 0 do
+        if keep.(li) then kept := live_arr.(li) :: !kept
+      done;
+      live := !kept;
       incr round
     done;
     rounds_of.(me) <- !round

@@ -78,6 +78,7 @@ type multi_stats = {
 val run_sessions :
   ?t:int ->
   ?telemetry:Telemetry.t ->
+  ?domains:int ->
   n:int ->
   (int * int * (Net.Ctx.t -> 'a Net.Proto.t)) array ->
   'a array array * multi_stats
@@ -91,5 +92,9 @@ val run_sessions :
     session-local rounds completed, messages carry the engine round as their
     timeline round, and party 0 records the live-session count each engine
     round — mirroring [Engine.run_sim]'s conventions session-for-session.
-    Raises [Invalid_argument] on malformed session lists, and propagates
-    party failures like {!run}. *)
+    [domains] (default 1) advances each party's live sessions in parallel on
+    the shared {!Pool} at every round barrier — the party threads themselves
+    are systhreads of one domain, so this is where multi-session socket runs
+    gain hardware parallelism; outputs, stats and telemetry are bit-identical
+    to [domains:1]. Raises [Invalid_argument] on malformed session lists, and
+    propagates party failures like {!run}. *)

@@ -67,9 +67,10 @@ type t = {
   mutable cached_bucket : bucket option;
   mutable cached_round : int;
   mutable cached_cell : cell option;
+  probes : bool;
 }
 
-let create () =
+let create ?(probes = true) () =
   {
     mutex = Mutex.create ();
     buckets = Hashtbl.create 64;
@@ -78,7 +79,10 @@ let create () =
     cached_bucket = None;
     cached_round = -1;
     cached_cell = None;
+    probes;
   }
+
+let capture_probes t = t.probes
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -140,7 +144,9 @@ let pop t ~session ~party ~round =
       | _ -> () (* only the root is open: mirror the runtimes' lenient Pop *))
 
 let probe_event t ~session ~party ~round ~byzantine ~key ~value =
-  locked t (fun () ->
+  if not t.probes then ()
+  else
+    locked t (fun () ->
       let b = bucket t ~session ~party in
       touch b round;
       let iter = Option.value ~default:0 (Hashtbl.find_opt b.b_probe_counts key) in
@@ -204,6 +210,46 @@ let finish t ~session ~party ~round =
          given its exit round at export time (b_last_round). *)
       List.iter (fun sp -> if sp != b.b_root then sp.sp_exit <- round) b.b_stack;
       b.b_stack <- [ b.b_root ])
+
+(* Shard merge for parallel runs. The engine gives each session its own shard
+   recorder, so across the shards of one run every (session × party) bucket
+   exists exactly once — adopting them wholesale preserves each bucket's
+   event order, and the export's sorted-bucket walk does the rest. Timeline
+   cells add (sums commute, so the result is independent of merge order);
+   [live] counts are recorded once, by the coordinator, and max-merge so a
+   shard that never saw them (-1) cannot erase them. *)
+let merge ~into src =
+  if into == src then invalid_arg "Telemetry.merge: merging a recorder into itself";
+  let src_buckets, src_rounds, src_meta =
+    locked src (fun () ->
+        ( Hashtbl.fold (fun key b acc -> (key, b) :: acc) src.buckets [],
+          Hashtbl.fold (fun r c acc -> (r, c) :: acc) src.timeline [],
+          List.rev src.meta_rev ))
+  in
+  locked into (fun () ->
+      List.iter
+        (fun (key, b) ->
+          if Hashtbl.mem into.buckets key then
+            invalid_arg
+              (Printf.sprintf
+                 "Telemetry.merge: bucket (session %d, party %d) present in both"
+                 b.b_session b.b_party);
+          Hashtbl.add into.buckets key b)
+        src_buckets;
+      List.iter
+        (fun (r, sc) ->
+          let c = cell into r in
+          c.c_bits <- c.c_bits + sc.c_bits;
+          c.c_msgs <- c.c_msgs + sc.c_msgs;
+          c.c_byz_bits <- c.c_byz_bits + sc.c_byz_bits;
+          c.c_byz_msgs <- c.c_byz_msgs + sc.c_byz_msgs;
+          if sc.c_live > c.c_live then c.c_live <- sc.c_live)
+        src_rounds;
+      List.iter
+        (fun (k, v) ->
+          if not (List.mem_assoc k into.meta_rev) then
+            into.meta_rev <- (k, v) :: into.meta_rev)
+        src_meta)
 
 (* ---- queries -------------------------------------------------------------- *)
 

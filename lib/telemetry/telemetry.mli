@@ -32,7 +32,19 @@
 
 type t
 
-val create : unit -> t
+val create : ?probes:bool -> unit -> t
+(** [probes] (default [true]) controls whether this recorder captures probe
+    data points. Spans and the round timeline are passive byte accounting
+    and stay cheap regardless of protocol state size; probes render full
+    protocol values ([Bigint.to_hex] of the candidate, so O(ℓ) work per
+    probe) and can dominate instrumented wall-clock at large ℓ. Pass
+    [~probes:false] for always-on production telemetry; the default keeps
+    full fidelity for analysis runs. *)
+
+val capture_probes : t -> bool
+(** Whether this recorder captures probes. Runtimes check this {e before}
+    forcing a probe's value thunk, so a [~probes:false] recorder skips the
+    O(ℓ) value render entirely, not just its storage. *)
 
 val root_label : string
 (** Label of the synthetic per-(session × party) root span, ["(run)"]. *)
@@ -84,6 +96,18 @@ val live_sessions : t -> round:int -> live:int -> unit
 val finish : t -> session:int -> party:int -> round:int -> unit
 (** Mark a party's instance as finished after [round] session rounds: fixes
     the root span's exit round (and any span left open by a truncated run). *)
+
+val merge : into:t -> t -> unit
+(** Fold a shard recorder into [into], for parallel runs where each shard
+    recorded a disjoint set of (session × party) buckets (the engine uses one
+    shard per session): buckets are adopted wholesale — a bucket present in
+    both recorders raises [Invalid_argument] — timeline cells are summed per
+    round ([live] max-merges, and is normally recorded only by the
+    coordinator), and [src] meta keys unknown to [into] are appended.
+    Merging the shards of a deterministic run into the coordinator's recorder
+    reproduces the sequential recorder byte for byte under {!to_jsonl}
+    (buckets are re-sorted at export; cell sums commute). [src] must be
+    quiescent and must not be used afterwards (its buckets are shared). *)
 
 (** {1 Queries} *)
 

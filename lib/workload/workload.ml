@@ -100,6 +100,25 @@ type report = {
   labels : (string * int) list;  (** per-component honest bits *)
 }
 
+(** Experiment cells: independent simulation runs (one (seed, adversary, n,
+    ℓ, protocol) grid point each) fanned out over the domain pool. A cell
+    must be self-contained — fresh PRNGs and adversary instances inside the
+    thunk — which is exactly what makes the fan-out embarrassingly parallel
+    and the result list identical to the sequential one. *)
+type 'r cell = { cell_label : string; cell_run : unit -> 'r }
+
+let cell ~label run = { cell_label = label; cell_run = run }
+
+let run_cells ?(domains = 1) cells =
+  let arr = Array.of_list cells in
+  let results =
+    if domains <= 1 then Array.map (fun c -> c.cell_run ()) arr
+    else
+      Pool.map ~domains (Pool.shared ()) ~n:(Array.length arr) (fun i ->
+          arr.(i).cell_run ())
+  in
+  List.mapi (fun i c -> (c.cell_label, results.(i))) cells
+
 (** Corrupt-set placement: spread corrupted parties across the index space
     (deterministic; avoids always corrupting a prefix). *)
 let spread_corrupt ~n ~t =
@@ -120,11 +139,11 @@ let spread_corrupt ~n ~t =
 
 (** [run_int] executes a protocol of type Π_ℤ (Bigint in, Bigint out) and
     checks Definition 1 against the honest inputs. *)
-let run_int ?(max_rounds = Sim.default_max_rounds) ?trace ?telemetry ~n ~t
-    ~corrupt ~adversary ~inputs protocol =
+let run_int ?(max_rounds = Sim.default_max_rounds) ?trace ?telemetry ?domains
+    ~n ~t ~corrupt ~adversary ~inputs protocol =
   let outcome =
-    Sim.run ~max_rounds ?trace ?telemetry ~n ~t ~corrupt ~adversary (fun ctx ->
-        protocol ctx inputs.(ctx.Ctx.me))
+    Sim.run ~max_rounds ?trace ?telemetry ?domains ~n ~t ~corrupt ~adversary
+      (fun ctx -> protocol ctx inputs.(ctx.Ctx.me))
   in
   let outputs = Sim.honest_outputs ~corrupt outcome in
   let honest_inputs =

@@ -62,6 +62,7 @@ val run_int :
   ?max_rounds:int ->
   ?trace:Net.Trace.t ->
   ?telemetry:Telemetry.t ->
+  ?domains:int ->
   n:int ->
   t:int ->
   corrupt:bool array ->
@@ -69,7 +70,24 @@ val run_int :
   inputs:Bigint.t array ->
   (Net.Ctx.t -> Bigint.t -> Bigint.t Net.Proto.t) ->
   report
-(** [trace] and [telemetry] are handed to the underlying {!Net.Sim.run}. *)
+(** [trace], [telemetry] and [domains] are handed to the underlying
+    {!Net.Sim.run}. *)
+
+(** {1 Experiment-cell fan-out} *)
+
+type 'r cell = { cell_label : string; cell_run : unit -> 'r }
+(** One independent grid point of an experiment sweep (seed × adversary ×
+    n × ℓ × protocol). The thunk must be self-contained — construct PRNGs
+    and adversary instances inside it, never share stateful ones across
+    cells — so cells commute and the fan-out is deterministic. *)
+
+val cell : label:string -> (unit -> 'r) -> 'r cell
+
+val run_cells : ?domains:int -> 'r cell list -> (string * 'r) list
+(** Run every cell and return [(label, result)] in input order. [domains]
+    (default 1) fans the cells out over the shared {!Pool} — results are
+    collected by index, so the list is identical to the sequential one for
+    self-contained cells. Re-raises the first cell exception. *)
 
 (** {1 Protocols under a uniform Bigint interface} *)
 

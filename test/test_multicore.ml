@@ -1,0 +1,263 @@
+(* Sequential-equals-parallel bit-identity — the hard invariant of the
+   multicore execution layer. Every entry point that takes [?domains] must
+   produce byte-identical results for every domain count: engine outputs,
+   per-session metrics (labels included), the aggregate ledger, trace CSV
+   and telemetry JSONL; Sim.run reports; Workload.run_cells sweeps. Plus the
+   shard-merge unit tests for Metrics and Telemetry that the engine's merge
+   pass relies on. *)
+
+open Net
+
+(* ---- shared fixtures (the test_engine.ml session family) ---------------- *)
+
+let session_inputs ~n k =
+  let rng = Prng.create (9000 + k) in
+  Workload.clustered_bits rng ~n ~bits:64 ~shared_prefix_bits:32
+
+let mk_protocol ~n k =
+  let inputs = session_inputs ~n k in
+  fun ctx -> Convex.agree_int ctx inputs.(ctx.Ctx.me)
+
+(* A comparable, fully-structural image of an engine outcome: Bigints as hex,
+   metrics as their counter tuple plus the deterministic label table. *)
+let fingerprint (o : Bigint.t Engine.outcome) =
+  ( List.map
+      (fun r ->
+        ( r.Engine.r_sid,
+          Array.to_list (Array.map (Option.map Bigint.to_hex) r.Engine.r_outputs),
+          ( r.Engine.r_metrics.Metrics.rounds,
+            r.Engine.r_metrics.Metrics.honest_bits,
+            r.Engine.r_metrics.Metrics.honest_msgs,
+            r.Engine.r_metrics.Metrics.byz_bits,
+            r.Engine.r_metrics.Metrics.byz_msgs ),
+          Metrics.labels r.Engine.r_metrics,
+          (r.Engine.r_admitted_at, r.Engine.r_retired_at) ))
+      o.Engine.sessions,
+    o.Engine.aggregate )
+
+let engine_run ~domains ~sessions ~spacing ~n ~t ~seed =
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let specs =
+    List.init sessions (fun k ->
+        let inputs =
+          let rng = Prng.create (seed + (101 * k)) in
+          Workload.clustered_bits rng ~n ~bits:48 ~shared_prefix_bits:16
+        in
+        Engine.session ~sid:k ~start_round:(spacing * k)
+          ~adversary:(Adversary.equivocate ~seed:(seed + (31 * k)))
+          (fun ctx -> Convex.agree_int ctx inputs.(ctx.Ctx.me)))
+  in
+  let trace = Trace.create () in
+  let telemetry = Telemetry.create () in
+  let outcome = Engine.run_sim ~domains ~trace ~telemetry ~n ~t ~corrupt specs in
+  (fingerprint outcome, Trace.to_csv trace, Telemetry.to_jsonl telemetry)
+
+(* ---- engine: K=8 under equivocate, domains 1/2/4 ------------------------ *)
+
+let test_engine_bit_identical () =
+  let run domains =
+    engine_run ~domains ~sessions:8 ~spacing:2 ~n:7 ~t:2 ~seed:4242
+  in
+  let base_fp, base_csv, base_jsonl = run 1 in
+  List.iter
+    (fun domains ->
+      let fp, csv, jsonl = run domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "outputs+metrics+ledger (domains=%d)" domains)
+        true (fp = base_fp);
+      Alcotest.(check string)
+        (Printf.sprintf "trace CSV byte-identical (domains=%d)" domains)
+        base_csv csv;
+      Alcotest.(check string)
+        (Printf.sprintf "telemetry JSONL byte-identical (domains=%d)" domains)
+        base_jsonl jsonl)
+    [ 2; 4 ]
+
+(* qcheck: the identity holds for random session counts, admission spacings
+   and seeds, not just the hand-picked fixture. *)
+let prop_engine_parallel_equals_sequential =
+  QCheck.Test.make ~count:10
+    ~name:"engine parallel = sequential (random K, spacing, seed)"
+    QCheck.(triple (int_range 1 6) (int_range 0 4) (int_range 0 9999))
+    (fun (sessions, spacing, seed) ->
+      let run domains =
+        engine_run ~domains ~sessions ~spacing ~n:7 ~t:2 ~seed
+      in
+      run 1 = run 3)
+
+(* ---- Sim.run and run_cells ---------------------------------------------- *)
+
+let sim_report ~domains =
+  let n = 10 and t = 3 in
+  let rng = Prng.create 77 in
+  let inputs = Workload.clustered_bits rng ~n ~bits:96 ~shared_prefix_bits:40 in
+  let telemetry = Telemetry.create () in
+  let report =
+    Workload.run_int ~telemetry ~domains ~n ~t
+      ~corrupt:(Workload.spread_corrupt ~n ~t)
+      ~adversary:(Adversary.equivocate ~seed:42) ~inputs Convex.agree_int
+  in
+  (report, Telemetry.to_jsonl telemetry)
+
+let test_sim_bit_identical () =
+  let base, base_jsonl = sim_report ~domains:1 in
+  List.iter
+    (fun domains ->
+      let r, jsonl = sim_report ~domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "Sim.run report identical (domains=%d)" domains)
+        true (r = base);
+      Alcotest.(check string)
+        (Printf.sprintf "Sim.run telemetry JSONL (domains=%d)" domains)
+        base_jsonl jsonl)
+    [ 2; 4 ]
+
+let sweep_cells () =
+  List.concat_map
+    (fun seed ->
+      List.map
+        (fun n ->
+          Workload.cell ~label:(Printf.sprintf "seed%d-n%d" seed n) (fun () ->
+              let rng = Prng.create seed in
+              let inputs =
+                Workload.clustered_bits rng ~n ~bits:32 ~shared_prefix_bits:8
+              in
+              let t = (n - 1) / 3 in
+              Workload.run_int ~n ~t
+                ~corrupt:(Workload.spread_corrupt ~n ~t)
+                ~adversary:(Adversary.equivocate ~seed:(seed + 1))
+                ~inputs Convex.agree_int))
+        [ 4; 7 ])
+    [ 1; 2; 3 ]
+
+let test_run_cells_bit_identical () =
+  let seq = Workload.run_cells ~domains:1 (sweep_cells ()) in
+  let par = Workload.run_cells ~domains:3 (sweep_cells ()) in
+  Alcotest.(check bool) "run_cells parallel = sequential" true (seq = par);
+  Alcotest.(check (list string)) "labels in input order"
+    (List.map fst seq) (List.map fst par)
+
+(* ---- unix backend -------------------------------------------------------- *)
+
+let test_run_unix_bit_identical () =
+  let n = 4 in
+  let run domains =
+    let specs =
+      List.init 6 (fun k ->
+          Engine.session ~sid:k ~start_round:k (mk_protocol ~n k))
+    in
+    let telemetry = Telemetry.create () in
+    let outcome = Engine.run_unix ~domains ~telemetry ~n specs in
+    (fingerprint outcome, Telemetry.to_jsonl telemetry)
+  in
+  let base = run 1 in
+  Alcotest.(check bool) "run_unix domains=2 = domains=1" true (run 2 = base)
+
+(* ---- Metrics shard merge ------------------------------------------------- *)
+
+let test_metrics_is_empty () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "fresh collector is empty" true (Metrics.is_empty m);
+  Alcotest.(check bool) "snapshot of empty is empty" true
+    (Metrics.is_empty (Metrics.snapshot m));
+  Metrics.record_honest m ~label:None ~bytes:1;
+  Alcotest.(check bool) "after one message: not empty" false (Metrics.is_empty m);
+  let r = Metrics.create () in
+  r.Metrics.rounds <- 1;
+  Alcotest.(check bool) "rounds alone: not empty" false (Metrics.is_empty r)
+
+(* Merging per-session shards in session order must reproduce the
+   single-collector table, including the bits-then-label tie-break: labels
+   "alpha"/"beta" are given equal totals split across shards. *)
+let test_metrics_shard_merge () =
+  let events k =
+    [
+      (Some "alpha", 10 + k);
+      (Some "beta", 13 - k);
+      (None, 2);
+      (Some (Printf.sprintf "only%d" k), 1 + k);
+    ]
+  in
+  let record m (label, bytes) = Metrics.record_honest m ~label ~bytes in
+  let single = Metrics.create () in
+  let shards =
+    List.init 4 (fun k ->
+        let sh = Metrics.create () in
+        List.iter (record sh) (events k);
+        List.iter (record single) (events k);
+        sh.Metrics.rounds <- [| 3; 7; 5; 2 |].(k);
+        Metrics.record_byzantine sh ~bytes:k;
+        Metrics.record_byzantine single ~bytes:k;
+        sh)
+  in
+  single.Metrics.rounds <- 7;
+  let agg = Metrics.create () in
+  List.iter (fun sh -> Metrics.merge ~into:agg sh) shards;
+  Alcotest.(check (list (pair string int))) "label table (tie-break included)"
+    (Metrics.labels single) (Metrics.labels agg);
+  Alcotest.(check bool) "alpha/beta tie present" true
+    (List.assoc "alpha" (Metrics.labels agg)
+    = List.assoc "beta" (Metrics.labels agg));
+  Alcotest.(check int) "honest_bits" single.Metrics.honest_bits
+    agg.Metrics.honest_bits;
+  Alcotest.(check int) "honest_msgs" single.Metrics.honest_msgs
+    agg.Metrics.honest_msgs;
+  Alcotest.(check int) "byz_bits" single.Metrics.byz_bits agg.Metrics.byz_bits;
+  Alcotest.(check int) "byz_msgs" single.Metrics.byz_msgs agg.Metrics.byz_msgs;
+  Alcotest.(check int) "rounds is the max over shards" 7 agg.Metrics.rounds
+
+(* ---- Telemetry shard merge ----------------------------------------------- *)
+
+let record_session tel ~session =
+  for party = 0 to 1 do
+    Telemetry.push tel ~session ~party ~round:0 ~label:"phase";
+    Telemetry.message tel ~session ~party ~round:1
+      ~timeline_round:(session + 1) ~bytes:(4 + session) ~byzantine:false ();
+    Telemetry.pop tel ~session ~party ~round:1;
+    Telemetry.finish tel ~session ~party ~round:2
+  done
+
+let test_telemetry_merge () =
+  (* Direct recording in session order... *)
+  let direct = Telemetry.create () in
+  Telemetry.set_meta direct "kind" "merge-test";
+  List.iter (fun s -> record_session direct ~session:s) [ 0; 1; 2 ];
+  (* ...equals per-session shards merged in session-index order. *)
+  let merged = Telemetry.create () in
+  Telemetry.set_meta merged "kind" "merge-test";
+  List.iter
+    (fun s ->
+      let shard = Telemetry.create () in
+      record_session shard ~session:s;
+      Telemetry.merge ~into:merged shard)
+    [ 0; 1; 2 ];
+  Alcotest.(check string) "merged JSONL byte-identical"
+    (Telemetry.to_jsonl direct) (Telemetry.to_jsonl merged);
+  let a = Telemetry.create () and b = Telemetry.create () in
+  record_session a ~session:0;
+  record_session b ~session:0;
+  match Telemetry.merge ~into:a b with
+  | () -> Alcotest.fail "bucket collision not rejected"
+  | exception Invalid_argument msg ->
+      (* Which colliding party is reported depends on hash order; the bucket
+         diagnostic prefix is the contract. *)
+      Alcotest.(check string) "collision diagnostic" "Telemetry.merge: bucket"
+        (String.sub msg 0 23)
+
+let suite =
+  [
+    Alcotest.test_case "engine K=8 equivocate: domains 1/2/4 byte-identical"
+      `Quick test_engine_bit_identical;
+    QCheck_alcotest.to_alcotest prop_engine_parallel_equals_sequential;
+    Alcotest.test_case "Sim.run: domains 1/2/4 byte-identical" `Quick
+      test_sim_bit_identical;
+    Alcotest.test_case "run_cells: parallel sweep = sequential sweep" `Quick
+      test_run_cells_bit_identical;
+    Alcotest.test_case "run_unix: domains 2 = domains 1" `Quick
+      test_run_unix_bit_identical;
+    Alcotest.test_case "Metrics.is_empty" `Quick test_metrics_is_empty;
+    Alcotest.test_case "Metrics shard merge reproduces single collector"
+      `Quick test_metrics_shard_merge;
+    Alcotest.test_case "Telemetry shard merge reproduces sequential JSONL"
+      `Quick test_telemetry_merge;
+  ]

@@ -215,6 +215,33 @@ let test_convergence_find_prefix_blocks () =
   in
   check_monotone "find_prefix_blocks/equivocate" adv_curve
 
+(* ---- probes-off recorder -------------------------------------------------- *)
+
+let test_probes_off () =
+  (* A ~probes:false recorder must keep the exact same span ledger while
+     recording zero probes (the runtimes skip the value render entirely). *)
+  let run ~telemetry =
+    let corrupt, inputs = scenario ~seed:3 () in
+    Workload.run_int ~telemetry ~n ~t ~corrupt
+      ~adversary:(Adversary.equivocate ~seed:5)
+      ~inputs Workload.pi_z.Workload.run
+  in
+  let tm_full = Telemetry.create () in
+  let report = run ~telemetry:tm_full in
+  let tm_spans = Telemetry.create ~probes:false () in
+  let _ = run ~telemetry:tm_spans in
+  Alcotest.check Alcotest.bool "flag readable" false
+    (Telemetry.capture_probes tm_spans);
+  Alcotest.check Alcotest.int "same span ledger"
+    report.Workload.honest_bits
+    (Telemetry.honest_bits_total tm_spans);
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "no probe keys" []
+    (Telemetry.probe_keys tm_spans ~session:0);
+  Alcotest.check Alcotest.bool "full recorder did capture probes" true
+    (Telemetry.probe_keys tm_full ~session:0 <> [])
+
 let test_convergence_high_cost_ca () =
   let protocol = (Workload.high_cost_ca ~bits).Workload.run in
   let _, honest_curve =
@@ -243,6 +270,7 @@ let suite =
     Alcotest.test_case "ledger: engine unix (K=4)" `Quick
       test_ledger_engine_unix;
     Alcotest.test_case "jsonl deterministic" `Quick test_jsonl_deterministic;
+    Alcotest.test_case "probes-off recorder" `Quick test_probes_off;
     Alcotest.test_case "convergence: find_prefix" `Quick
       test_convergence_find_prefix;
     Alcotest.test_case "convergence: find_prefix_blocks" `Quick
