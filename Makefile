@@ -8,7 +8,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build fmt test check bench bench-smoke validate-bench clean
+.PHONY: all build fmt test check bench bench-smoke soak-smoke validate-bench clean
 
 all: build
 
@@ -36,7 +36,13 @@ bench-smoke:
 validate-bench:
 	$(DUNE) exec bench/validate_bench.exe -- BENCH_*.json
 
-check: build fmt test bench-smoke validate-bench
+# ~10 s of the duration-based soak on the event-driven poll backend: mixed
+# adversarial workloads, staggered admission, Definition 1 checked per
+# session, peak RSS asserted after every wave.
+soak-smoke:
+	$(DUNE) exec bin/soak.exe -- --smoke
+
+check: build fmt test bench-smoke soak-smoke validate-bench
 	@echo "[check] tier-1 gate passed"
 
 # Full benchmark run, built with the optimizing release profile (see the

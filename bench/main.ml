@@ -658,7 +658,9 @@ let engine_bench () =
      rounds) is invariant in K — sessions are bit-identical to sequential runs —\n\
      while transport frames are shared: frames-saved grows ~linearly in K and the\n\
      engine amortizes the per-frame cost the way a high-traffic oracle deployment\n\
-     must. The last row drives the same 64 sessions over the real socket mesh.";
+     must. The unix row drives the same 64 sessions over the thread-per-party\n\
+     socket mesh; the poll rows scale K into the thousands through the\n\
+     single-process event loop (nonblocking sockets, one select, zero threads).";
   let session_inputs k =
     let rng = Prng.create (8100 + k) in
     Workload.clustered_bits rng ~n ~bits:64 ~shared_prefix_bits:32
@@ -678,8 +680,9 @@ let engine_bench () =
     Engine.session ~sid:k ~adversary (fun ctx ->
         Convex.agree_int ctx inputs.(ctx.Ctx.me))
   in
-  Printf.printf "%-12s | %8s | %8s | %10s | %12s | %10s | %10s | %8s\n" "backend (K)"
-    "rounds" "wall s" "sess/s" "kbits/sess" "frames" "saved" "frame-kB";
+  Printf.printf "%-12s | %8s | %8s | %10s | %12s | %10s | %10s | %8s | %7s\n"
+    "backend (K)" "rounds" "wall s" "sess/s" "kbits/sess" "frames" "saved"
+    "frame-kB" "rss-MB";
   print_endline line;
   let json_rows = ref [] in
   let report backend k (outcome : Bigint.t Engine.outcome) wall =
@@ -687,12 +690,17 @@ let engine_bench () =
     let per_session =
       float_of_int agg.Engine.honest_bits_total /. float_of_int k /. 1000.
     in
-    Printf.printf "%-12s | %8d | %8.3f | %10.1f | %12.1f | %10d | %10d | %8.1f\n"
+    (* Peak RSS so far (VmHWM): rows run in ascending K per backend, so the
+       column reads as "the footprint K sessions needed". *)
+    let rss = Option.value (Net_poll.rss_peak_bytes ()) ~default:0 in
+    Printf.printf
+      "%-12s | %8d | %8.3f | %10.1f | %12.1f | %10d | %10d | %8.1f | %7.1f\n"
       (Printf.sprintf "%s (%d)" backend k)
       agg.Engine.engine_rounds wall
       (float_of_int k /. wall)
       per_session agg.Engine.frames_sent agg.Engine.frames_saved
-      (float_of_int agg.Engine.frame_bytes /. 1000.);
+      (float_of_int agg.Engine.frame_bytes /. 1000.)
+      (float_of_int rss /. (1024. *. 1024.));
     json_rows :=
       [
         ("backend", Bench_json.Str backend);
@@ -708,6 +716,7 @@ let engine_bench () =
         ("frame_bytes", Bench_json.Int agg.Engine.frame_bytes);
         ("payload_bytes", Bench_json.Int agg.Engine.payload_bytes);
         ("peak_live", Bench_json.Int agg.Engine.peak_live);
+        ("rss_bytes", Bench_json.Int rss);
       ]
       :: !json_rows
   in
@@ -746,6 +755,33 @@ let engine_bench () =
   assert (a.Engine.frame_bytes = b.Engine.frame_bytes);
   assert (a.Engine.payload_bytes = b.Engine.payload_bytes);
   report "unix" k outcome wall;
+  (* Scale-out rows: the poll backend drives K into the thousands in one
+     process — nonblocking sockets, a single select loop, zero threads.
+     Honest workload so rows are comparable across K; ascending K keeps the
+     peak-RSS column meaningful per row. At the smallest K the identical
+     workload replays in the simulator and the full ledgers must agree —
+     the bench-level check that the wire moved exactly the simulator's
+     bytes. *)
+  let poll_ks = if !smoke then [ 8 ] else [ 256; 1024; 4096 ] in
+  List.iter
+    (fun k ->
+      let specs = List.init k (mk_spec ~adversarial:false) in
+      let t0 = Unix.gettimeofday () in
+      let outcome = Engine.run_poll ~t ~n ~corrupt:(Array.make n false) specs in
+      let wall = Unix.gettimeofday () -. t0 in
+      assert (outcome.Engine.aggregate.Engine.sessions_completed = k);
+      assert (outcome.Engine.aggregate.Engine.frames_saved > 0);
+      if k = List.hd poll_ks then begin
+        let sim = Engine.run_sim ~n ~t ~corrupt:(Array.make n false) specs in
+        let a = sim.Engine.aggregate and b = outcome.Engine.aggregate in
+        assert (a.Engine.engine_rounds = b.Engine.engine_rounds);
+        assert (a.Engine.frames_sent = b.Engine.frames_sent);
+        assert (a.Engine.naive_frames = b.Engine.naive_frames);
+        assert (a.Engine.frame_bytes = b.Engine.frame_bytes);
+        assert (a.Engine.payload_bytes = b.Engine.payload_bytes)
+      end;
+      report "poll" k outcome wall)
+    poll_ks;
   write_json ~path:"BENCH_engine.json"
     ~meta:
       [
@@ -763,7 +799,10 @@ let engine_bench () =
      ledgers — engine rounds, frames, naive frames, frame/payload bytes — are\n\
      asserted equal above and in test_engine. The adversarial sim rows differ in\n\
      naive_frames only because equivocation + outlier inputs change per-session\n\
-     round counts, i.e. it is a workload difference, not a ledger bug.)\n"
+     round counts, i.e. it is a workload difference, not a ledger bug. The poll\n\
+     rows move every frame through nonblocking sockets in one process; their\n\
+     smallest K is ledger-asserted against the simulator on the same workload,\n\
+     and rss-MB is the process's peak resident set after the row.)\n"
 
 (* ------------------------------------------------------------------ *)
 (* B1: bechamel wall-clock micro-benchmarks                            *)

@@ -200,6 +200,48 @@ let check_parallel_row i row =
       failwith (Printf.sprintf "rows[%d].identical is false: bit-identity broken" i)
   | _ -> failwith (Printf.sprintf "rows[%d].identical is not a boolean" i)
 
+(* The engine experiment's rows carry the scale-out acceptance data: every
+   row a backend, a session count, a throughput and a peak-RSS reading, and
+   the ledger as a whole must include the event-driven backend driven into
+   the thousands of sessions. *)
+let check_engine_row i row =
+  let field key =
+    match List.assoc_opt key row with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "rows[%d] has no %S key" i key)
+  in
+  (match field "backend" with
+  | Str ("sim" | "sim-honest" | "unix" | "poll") -> ()
+  | Str b -> failwith (Printf.sprintf "rows[%d].backend %S is unknown" i b)
+  | _ -> failwith (Printf.sprintf "rows[%d].backend is not a string" i));
+  (match field "sessions" with
+  | Num s when s >= 1. && Float.is_integer s -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].sessions is not an integer >= 1" i));
+  (match field "sessions_per_s" with
+  | Num r when r > 0. -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].sessions_per_s is not positive" i));
+  match field "rss_bytes" with
+  | Num b when b >= 0. && Float.is_integer b -> ()
+  | _ ->
+      failwith (Printf.sprintf "rows[%d].rss_bytes is not a non-negative integer" i)
+
+let check_engine_ledger rows =
+  let poll_sessions =
+    List.filter_map
+      (function
+        | Obj fields when List.assoc_opt "backend" fields = Some (Str "poll")
+          -> (
+            match List.assoc_opt "sessions" fields with
+            | Some (Num s) -> Some s
+            | _ -> None)
+        | _ -> None)
+      rows
+  in
+  if poll_sessions = [] then
+    failwith "engine ledger has no backend=\"poll\" rows";
+  if not (List.exists (fun s -> s >= 1024.) poll_sessions) then
+    failwith "engine ledger has no poll row with sessions >= 1024"
+
 let validate path =
   let json =
     try parse (read_file path) with
@@ -226,10 +268,12 @@ let validate path =
             (fun i row ->
               match row with
               | Obj ((_ :: _) as fields) ->
-                  if experiment = "parallel" then check_parallel_row i fields
+                  if experiment = "parallel" then check_parallel_row i fields;
+                  if experiment = "engine" then check_engine_row i fields
               | Obj [] -> failwith (Printf.sprintf "rows[%d] is empty" i)
               | _ -> failwith (Printf.sprintf "rows[%d] is not an object" i))
             rows;
+          if experiment = "engine" then check_engine_ledger rows;
           List.length rows
       | Some _ -> failwith "\"rows\" is not an array"
       | None -> failwith "no top-level \"rows\" key")

@@ -239,9 +239,10 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
     exit 2
   end;
   (match backend with
-  | "sim" | "unix" -> ()
+  | "sim" | "unix" | "poll" -> ()
   | b ->
-      Printf.eprintf "error: unknown backend %S; available: sim, unix\n" b;
+      Printf.eprintf "error: unknown backend %S; available: sim, unix, poll\n"
+        b;
       exit 2);
   let unix = String.equal backend "unix" in
   if unix && not (String.equal adversary_name "passive") then begin
@@ -299,8 +300,10 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
       telemetry_path
   in
   let outcome =
-    if unix then Engine.run_unix ?telemetry ~domains ~t ~n specs
-    else Engine.run_sim ?telemetry ~domains ~n ~t ~corrupt specs
+    match backend with
+    | "unix" -> Engine.run_unix ?telemetry ~domains ~t ~n specs
+    | "poll" -> Engine.run_poll ?telemetry ~domains ~n ~t ~corrupt specs
+    | _ -> Engine.run_sim ?telemetry ~domains ~n ~t ~corrupt specs
   in
   (match (telemetry, telemetry_path) with
   | Some tm, Some path -> export_telemetry tm path
@@ -568,8 +571,10 @@ let backend_arg =
     & info [ "backend" ] ~docv:"NAME"
         ~doc:
           "Execution backend: $(b,sim) (deterministic lock-step simulator, \
-           supports adversaries) or $(b,unix) (socket mesh, one thread per \
-           party, honest only).")
+           supports adversaries), $(b,unix) (socket mesh, one thread per \
+           party, honest only), or $(b,poll) (single-process event loop over \
+           nonblocking sockets, supports adversaries, bit-identical to \
+           $(b,sim)).")
 
 let engine_cmd =
   let doc = "multiplex many concurrent CA sessions over one transport" in

@@ -1,20 +1,107 @@
-(* soak — randomized long-running robustness campaign.
+(* soak — duration-bounded robustness soak of the session engine.
 
-   Each trial draws a random configuration (n, t, corrupt set, workload
-   family, input attack, message adversary — generic or protocol-aware) and
-   a random protocol from the CA family, runs it in the simulator, and
-   checks Definition 1. Any violation prints a full reproduction line
-   (everything is derived from the trial seed) and fails the process.
+   Runs engine waves until the wall-clock budget is spent. Every wave draws
+   a random configuration (n, t, corrupt set) and a batch of sessions with
+   mixed protocols, workload families, input attacks and message
+   adversaries, admitted at staggered rounds so sessions arrive and retire
+   mid-run. Each wave executes on the chosen backend (the event-driven poll
+   transport by default), every session is checked against Definition 1,
+   telemetry is sampled on a subset of waves (exported, sized, dropped —
+   never accumulated), and peak RSS is asserted against a ceiling after
+   every wave. Any violation prints a reproduction line (everything derives
+   from the wave seed) and fails the process.
 
-     dune exec bin/soak.exe              (200 trials)
-     dune exec bin/soak.exe -- 5000 42   (trials, master seed)  *)
+     dune exec bin/soak.exe                        (60 s, poll backend)
+     dune exec bin/soak.exe -- --smoke             (~10 s, for make check)
+     dune exec bin/soak.exe -- --duration 600 --backend sim --seed 7 *)
 
 open Net
 
-let trial ~seed =
-  let rng = Prng.create seed in
-  let n = 4 + Prng.int rng 7 in
-  let t = Prng.int rng (((n - 1) / 3) + 1) in
+type cfg = {
+  duration : float;
+  backend : string;
+  seed : int;
+  max_sessions : int;
+  max_rss_mb : int;
+  telemetry_every : int;
+}
+
+let default_cfg =
+  {
+    duration = 60.0;
+    backend = "poll";
+    seed = 1;
+    max_sessions = 48;
+    max_rss_mb = 2048;
+    telemetry_every = 5;
+  }
+
+let usage oc =
+  output_string oc
+    "usage: soak [--duration SECS] [--smoke] [--backend sim|poll] [--seed N]\n\
+    \            [--sessions K] [--max-rss-mb MB] [--telemetry-every N]\n\n\
+     Duration-bounded engine soak: mixed workloads, staggered admission and\n\
+     retirement, Definition 1 checked per session, telemetry sampled (not\n\
+     stored), peak RSS asserted after every wave.\n\n\
+    \  --duration SECS      wall-clock budget (default 60)\n\
+    \  --smoke              ~10 s run for CI (duration 8, smaller waves)\n\
+    \  --backend NAME       sim | poll (default poll)\n\
+    \  --seed N             master seed (default 1)\n\
+    \  --sessions K         max sessions per wave (default 48)\n\
+    \  --max-rss-mb MB      peak-RSS ceiling (default 2048)\n\
+    \  --telemetry-every N  sample telemetry every Nth wave (default 5)\n"
+
+let bad fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "error: %s\n" msg;
+      usage stderr;
+      exit 2)
+    fmt
+
+let parse_int name v =
+  match int_of_string_opt v with
+  | Some i when i > 0 -> i
+  | _ -> bad "%s expects a positive integer, got %S" name v
+
+let rec parse cfg = function
+  | [] -> cfg
+  | "--smoke" :: rest ->
+      parse { cfg with duration = 8.0; max_sessions = 12 } rest
+  | "--duration" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some d when d > 0.0 -> parse { cfg with duration = d } rest
+      | _ -> bad "--duration expects a positive number, got %S" v)
+  | "--backend" :: v :: rest -> parse { cfg with backend = v } rest
+  | "--seed" :: v :: rest -> parse { cfg with seed = parse_int "--seed" v } rest
+  | "--sessions" :: v :: rest ->
+      parse { cfg with max_sessions = parse_int "--sessions" v } rest
+  | "--max-rss-mb" :: v :: rest ->
+      parse { cfg with max_rss_mb = parse_int "--max-rss-mb" v } rest
+  | "--telemetry-every" :: v :: rest ->
+      parse { cfg with telemetry_every = parse_int "--telemetry-every" v } rest
+  | ("--help" | "-h") :: _ ->
+      usage stdout;
+      exit 0
+  | [ flag ]
+    when List.mem flag
+           [
+             "--duration"; "--backend"; "--seed"; "--sessions"; "--max-rss-mb";
+             "--telemetry-every";
+           ] -> bad "%s expects a value" flag
+  | arg :: _ -> bad "unknown argument %S" arg
+
+(* ---- one wave ------------------------------------------------------------- *)
+
+type wave_report = {
+  w_sessions : int;
+  w_rounds : int;
+  w_frames_saved : int;
+  w_telemetry_bytes : int;  (* 0 on unsampled waves *)
+  w_failures : string list;
+}
+
+let spread_corrupt rng ~n ~t =
   let corrupt = Array.make n false in
   let placed = ref 0 in
   while !placed < t do
@@ -24,12 +111,19 @@ let trial ~seed =
       incr placed
     end
   done;
+  corrupt
+
+(* One session's random draw: inputs (workload family + input attack),
+   protocol wide enough for the inputs, message adversary. Deterministic in
+   [seed]. *)
+let draw_session ~corrupt ~n ~seed =
+  let rng = Prng.create seed in
   let workload_name, inputs =
     match Prng.int rng 4 with
     | 0 -> ("sensors", Workload.sensor_readings rng ~n ~base:(-1004) ~jitter:3)
     | 1 ->
         ( "clustered",
-          Workload.clustered_bits rng ~n ~bits:(32 + Prng.int rng 400)
+          Workload.clustered_bits rng ~n ~bits:(32 + Prng.int rng 200)
             ~shared_prefix_bits:(Prng.int rng 32) )
     | 2 -> ("uniform", Workload.uniform_bits rng ~n ~bits:(8 + Prng.int rng 64))
     | _ ->
@@ -44,62 +138,196 @@ let trial ~seed =
       (Prng.int rng 4)
   in
   let inputs = Workload.apply_input_attack attack ~corrupt inputs in
+  (* Wide enough that the fixed-width comparators never clamp an input. *)
+  let bits =
+    Array.fold_left (fun acc v -> max acc (Bigint.bit_length v)) 64 inputs + 1
+  in
+  let proto =
+    match Prng.int rng 3 with
+    | 0 -> Workload.pi_z
+    | 1 -> Workload.high_cost_ca ~bits
+    | _ -> Workload.broadcast_ca ~bits
+  in
+  (* Fixed-width comparators clamp magnitudes; route negative workloads to
+     the arbitrary-precision protocol. *)
+  let proto =
+    if
+      proto.Workload.proto_name <> Workload.pi_z.Workload.proto_name
+      && Array.exists (fun v -> Bigint.sign v < 0) inputs
+    then Workload.pi_z
+    else proto
+  in
   let adversaries =
     Adversary.all_generic ~seed
     @ Attacks.all ~seed ~payload:(Sha256.digest (string_of_int seed))
   in
-  let adversary = List.nth adversaries (Prng.int rng (List.length adversaries)) in
-  (* Wide enough that the fixed-width comparators never clamp an input —
-     clamping would make the validity check compare across domains. *)
-  let bits =
-    Array.fold_left (fun acc v -> max acc (Bigint.bit_length v)) 64 inputs + 1
+  let adversary =
+    List.nth adversaries (Prng.int rng (List.length adversaries))
   in
-  let proto_name, protocol =
-    match Prng.int rng 3 with
-    | 0 -> ("pi_z", Workload.pi_z)
-    | 1 -> ("high_cost_ca", Workload.high_cost_ca ~bits)
-    | _ -> ("broadcast_ca", Workload.broadcast_ca ~bits)
-  in
-  (* Fixed-width comparators clamp magnitudes; avoid negative workloads. *)
-  let proto_name, protocol =
-    if proto_name <> "pi_z" && Array.exists (fun v -> Bigint.sign v < 0) inputs then
-      ("pi_z", Workload.pi_z)
-    else (proto_name, protocol)
-  in
-  let describe () =
-    Printf.sprintf "seed=%d n=%d t=%d proto=%s workload=%s attack=%s adversary=%s"
-      seed n t proto_name workload_name
+  let describe =
+    Printf.sprintf "proto=%s workload=%s attack=%s adversary=%s"
+      proto.Workload.proto_name workload_name
       (Workload.input_attack_name attack)
       adversary.Adversary.name
   in
-  match Workload.run_int ~n ~t ~corrupt ~adversary ~inputs protocol.Workload.run with
-  | report ->
-      if report.Workload.agreement && report.Workload.convex_validity then Ok ()
-      else
-        Error
-          (Printf.sprintf "%s: agreement=%b validity=%b" (describe ())
-             report.Workload.agreement report.Workload.convex_validity)
-  | exception e -> Error (Printf.sprintf "%s: raised %s" (describe ()) (Printexc.to_string e))
+  (inputs, proto, adversary, describe)
+
+let wave ~cfg ~idx =
+  let seed = (cfg.seed * 1_000_003) + idx in
+  let rng = Prng.create seed in
+  let n = 4 + Prng.int rng 4 in
+  let t = Prng.int rng (((n - 1) / 3) + 1) in
+  let corrupt = spread_corrupt rng ~n ~t in
+  let sessions = 1 + Prng.int rng cfg.max_sessions in
+  let spacing = Prng.int rng 3 in
+  let describe_wave =
+    Printf.sprintf "wave=%d seed=%d backend=%s n=%d t=%d sessions=%d spacing=%d"
+      idx seed cfg.backend n t sessions spacing
+  in
+  let draws =
+    Array.init sessions (fun k ->
+        draw_session ~corrupt ~n ~seed:(seed + (997 * k)))
+  in
+  let specs =
+    List.init sessions (fun k ->
+        let inputs, proto, adversary, _ = draws.(k) in
+        Engine.session ~sid:k ~start_round:(k * spacing) ~adversary (fun ctx ->
+            proto.Workload.run ctx inputs.(ctx.Ctx.me)))
+  in
+  let telemetry =
+    if idx mod cfg.telemetry_every = 0 then Some (Telemetry.create ()) else None
+  in
+  let failures = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun msg -> failures := msg :: !failures) fmt
+  in
+  match
+    match cfg.backend with
+    | "poll" -> Engine.run_poll ?telemetry ~n ~t ~corrupt specs
+    | _ -> Engine.run_sim ?telemetry ~n ~t ~corrupt specs
+  with
+  | exception e ->
+      {
+        w_sessions = sessions;
+        w_rounds = 0;
+        w_frames_saved = 0;
+        w_telemetry_bytes = 0;
+        w_failures =
+          [ Printf.sprintf "%s: raised %s" describe_wave (Printexc.to_string e) ];
+      }
+  | outcome ->
+      if outcome.Engine.aggregate.Engine.sessions_completed <> sessions then
+        fail "%s: %d of %d sessions completed" describe_wave
+          outcome.Engine.aggregate.Engine.sessions_completed sessions;
+      List.iter
+        (fun r ->
+          let k = r.Engine.r_sid in
+          let inputs, _, _, describe_session = draws.(k) in
+          let honest = Engine.honest_outputs ~corrupt r in
+          let agreement =
+            match honest with
+            | [] -> false
+            | o :: rest -> List.for_all (Bigint.equal o) rest
+          in
+          let honest_inputs =
+            List.filteri (fun i _ -> not corrupt.(i)) (Array.to_list inputs)
+          in
+          let validity =
+            List.for_all
+              (fun o -> Convex.in_convex_hull ~inputs:honest_inputs o)
+              honest
+          in
+          if not (agreement && validity) then
+            fail "%s: sid=%d %s: agreement=%b validity=%b" describe_wave k
+              describe_session agreement validity)
+        outcome.Engine.sessions;
+      let telemetry_bytes =
+        match telemetry with
+        | None -> 0
+        | Some tm -> String.length (Telemetry.to_jsonl tm)
+      in
+      {
+        w_sessions = sessions;
+        w_rounds = outcome.Engine.aggregate.Engine.engine_rounds;
+        w_frames_saved = outcome.Engine.aggregate.Engine.frames_saved;
+        w_telemetry_bytes = telemetry_bytes;
+        w_failures = List.rev !failures;
+      }
+
+(* ---- main loop ------------------------------------------------------------ *)
 
 let () =
-  let trials, master =
-    match Sys.argv with
-    | [| _; n |] -> (int_of_string n, 1)
-    | [| _; n; s |] -> (int_of_string n, int_of_string s)
-    | _ -> (200, 1)
-  in
-  let failures = ref 0 in
+  let cfg = parse default_cfg (List.tl (Array.to_list Sys.argv)) in
+  (match cfg.backend with
+  | "sim" | "poll" -> ()
+  | "unix" ->
+      Printf.eprintf
+        "error: the unix backend runs honest executions only; the soak is \
+         adversarial (use --backend sim or --backend poll)\n";
+      exit 2
+  | b ->
+      Printf.eprintf "error: unknown backend %S; available: sim, poll\n" b;
+      exit 2);
+  let rss_ceiling = cfg.max_rss_mb * 1024 * 1024 in
   let t0 = Unix.gettimeofday () in
-  for i = 1 to trials do
-    (match trial ~seed:((master * 1_000_003) + i) with
-    | Ok () -> ()
-    | Error msg ->
+  let waves = ref 0 in
+  let total_sessions = ref 0 in
+  let total_rounds = ref 0 in
+  let total_saved = ref 0 in
+  let sampled_bytes = ref 0 in
+  let sampled_waves = ref 0 in
+  let failures = ref 0 in
+  let rss_breached = ref false in
+  Printf.printf
+    "soak: backend=%s duration=%.0fs seed=%d max-sessions/wave=%d \
+     rss-ceiling=%dMB\n\
+     %!"
+    cfg.backend cfg.duration cfg.seed cfg.max_sessions cfg.max_rss_mb;
+  while
+    (not !rss_breached)
+    && (!waves = 0 || Unix.gettimeofday () -. t0 < cfg.duration)
+  do
+    let r = wave ~cfg ~idx:!waves in
+    incr waves;
+    total_sessions := !total_sessions + r.w_sessions;
+    total_rounds := !total_rounds + r.w_rounds;
+    total_saved := !total_saved + r.w_frames_saved;
+    if r.w_telemetry_bytes > 0 then begin
+      incr sampled_waves;
+      sampled_bytes := !sampled_bytes + r.w_telemetry_bytes
+    end;
+    List.iter
+      (fun msg ->
         incr failures;
-        Printf.printf "FAIL %s\n%!" msg);
-    if i mod 50 = 0 then
-      Printf.printf "  ... %d/%d trials, %d failures, %.1fs\n%!" i trials !failures
+        Printf.printf "FAIL %s\n%!" msg)
+      r.w_failures;
+    (* The ceiling is the soak's leak detector: a transport or engine that
+       accumulates per-wave state trips it long before the box swaps. *)
+    (match Net_poll.rss_peak_bytes () with
+    | Some peak when peak > rss_ceiling ->
+        rss_breached := true;
+        Printf.printf "FAIL wave=%d: peak RSS %d MB exceeds ceiling %d MB\n%!"
+          (!waves - 1)
+          (peak / (1024 * 1024))
+          cfg.max_rss_mb
+    | Some _ | None -> ());
+    if !waves mod 10 = 0 then
+      Printf.printf
+        "  ... %d waves, %d sessions, %d failures, rss=%s, %.1fs\n%!" !waves
+        !total_sessions !failures
+        (match Net_poll.rss_bytes () with
+        | Some b -> Printf.sprintf "%dMB" (b / (1024 * 1024))
+        | None -> "n/a")
         (Unix.gettimeofday () -. t0)
   done;
-  Printf.printf "soak: %d trials, %d failures in %.1fs\n" trials !failures
+  Printf.printf
+    "soak: %d waves, %d sessions, %d engine rounds, %d frames saved, %d \
+     failures in %.1fs\n"
+    !waves !total_sessions !total_rounds !total_saved !failures
     (Unix.gettimeofday () -. t0);
-  if !failures > 0 then exit 1
+  Printf.printf "      telemetry sampled on %d waves (%d bytes, dropped)%s\n"
+    !sampled_waves !sampled_bytes
+    (match Net_poll.rss_peak_bytes () with
+    | Some b -> Printf.sprintf "; peak rss %d MB" (b / (1024 * 1024))
+    | None -> "");
+  if !failures > 0 || !rss_breached then exit 1

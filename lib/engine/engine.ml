@@ -106,7 +106,7 @@ let peak_live ~engine_rounds results =
   done;
   !peak
 
-(* ---- simulator backend ---------------------------------------------------- *)
+(* ---- round-driven core ---------------------------------------------------- *)
 
 (* A live session: one protocol state and label stack per party, plus the
    session-local metrics whose [rounds] field doubles as the adversary's
@@ -161,12 +161,22 @@ let honest_running ~corrupt states =
     states;
   !running
 
-let run_sim ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
-    ~n ~t ~corrupt specs =
-  if Array.length corrupt <> n then invalid_arg "Engine.run_sim: corrupt array size";
-  if domains < 1 then invalid_arg "Engine.run_sim: domains < 1";
+(* The round-driven scheduler, parameterized over the byte transport. Every
+   backend shares this loop; what varies is only how each round's encoded
+   frame matrix reaches the recipients ({!Net.Transport.exchange}). The
+   loopback transport hands the pre-decoded entries straight back (the
+   simulator); the poll transport pushes the bytes through a nonblocking
+   socket mesh and decodes what arrives. Because the frames the engine
+   encodes are a pure function of the sessions' traffic, and delivery
+   consumes only frame contents plus the local self slot, every transport
+   that moves the frames faithfully yields bit-identical outputs, metrics,
+   ledger and telemetry. *)
+let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
+    ~transport ~n ~t ~corrupt specs =
+  if Array.length corrupt <> n then invalid_arg "Engine: corrupt array size";
+  if domains < 1 then invalid_arg "Engine: domains < 1";
   let n_corrupt = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 corrupt in
-  if n_corrupt > t then invalid_arg "Engine.run_sim: more corruptions than t";
+  if n_corrupt > t then invalid_arg "Engine: more corruptions than t";
   validate_specs specs;
   let pool = if domains > 1 then Some (Pool.shared ()) else None in
   (* Session-index-ordered telemetry shards, merged into the caller's
@@ -255,14 +265,17 @@ let run_sim ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
     (* Per ordered pair, the entries of this round's coalesced frame, in
        admission order (matching the unix backend's frame contents). *)
     let bundles = Array.init n (fun _ -> Array.make n []) in
-    (* 1–4. Step every live session by one of its own rounds, exactly as
-       Sim.run would. Sessions are independent within an engine round —
-       each touches only its own states, labels, metrics, adversary PRNG and
-       telemetry recorder — so this phase shards across the pool; everything
-       that writes shared state (trace, bundles, naive-frame counter) is
-       deferred to the sequential pass below, replayed in admission order
-       from the sends each session captured, so every byte and every event
-       order matches the [domains:1] run. *)
+    (* 1–4. Send phase: every live session computes one of its own rounds'
+       message matrix, exactly as Sim.run would — adversary PRNG order,
+       byzantine truncation and metrics accounting included. Delivery waits
+       until the transport has moved the round's frames. Sessions are
+       independent within an engine round — each touches only its own
+       states, labels, metrics, adversary PRNG and telemetry recorder — so
+       this phase shards across the pool; everything that writes shared
+       state (trace, bundles, naive-frame counter) is deferred to the
+       sequential pass below, replayed in admission order from the sends
+       each session captured, so every byte and every event order matches
+       the [domains:1] run. *)
     let live_arr = Array.of_list !live in
     let k_live = Array.length live_arr in
     (* Per session, filled by its own step: the round's actual message
@@ -330,17 +343,6 @@ let run_sim ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
       Array.iter
         (function Proto.Step _ -> naive.(li) <- naive.(li) + (n - 1) | _ -> ())
         states;
-      (* Deliver and advance. *)
-      for i = 0 to n - 1 do
-        match states.(i) with
-        | Proto.Step (_, k) ->
-            let inbox = Array.init n (fun s -> actual.(s).(i)) in
-            states.(i) <-
-              settle ~telemetry:l.l_telemetry ~corrupt ~sid:l.l_sid
-                ~round:metrics.Metrics.rounds l.l_labels i (k inbox)
-        | Proto.Done _ -> ()
-        | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
-      done;
       stepped.(li) <- actual;
       send_labels.(li) <- labels_now
     in
@@ -378,21 +380,71 @@ let run_sim ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
         done;
         naive_frames := !naive_frames + naive.(li))
       live_arr;
-    (* 5. Transport accounting: one coalesced frame per ordered pair. *)
+    (* 5. Encode one coalesced frame per ordered pair (keep-alive empties
+       included), account the ledger, and move the round's bytes through the
+       transport. [delivered.(s).(r)] comes back in admission order — from
+       the loopback transport it {e is} [entries.(s).(r)]; from a socket
+       transport it is what the wire-decoded frame carried, which must agree
+       byte for byte. *)
+    let frames = Array.make_matrix n n "" in
+    let entries = Array.make_matrix n n [] in
     for s = 0 to n - 1 do
       for r = 0 to n - 1 do
         if s <> r then begin
-          let entries = List.rev bundles.(s).(r) in
-          let body = Wire.Frame.encode { Wire.Frame.round = !er; entries } in
+          let es = List.rev bundles.(s).(r) in
+          let body = Wire.Frame.encode { Wire.Frame.round = !er; entries = es } in
+          entries.(s).(r) <- es;
+          frames.(s).(r) <- body;
           incr frames_sent;
           frame_bytes := !frame_bytes + String.length body;
           List.iter
             (fun (_, m) -> payload_bytes := !payload_bytes + String.length m)
-            entries
+            es
         end
       done
     done;
-    (* 6. Retire sessions whose honest parties have all terminated. *)
+    let delivered = transport.Transport.exchange ~round:!er ~frames ~entries in
+    (* Per-edge delivery index, built once on the calling domain and only
+       read inside the parallel deliver phase. *)
+    let tables =
+      Array.init n (fun s ->
+          Array.init n (fun r ->
+              let tbl = Hashtbl.create 16 in
+              List.iter
+                (fun (sid, m) -> Hashtbl.replace tbl sid m)
+                delivered.(s).(r);
+              tbl))
+    in
+    (* 6. Deliver and advance every live session — the other half of the
+       Sim.run round body, parallel for the same reason the send phase is:
+       a session touches only its own states, labels and telemetry recorder,
+       and reads the shared tables. *)
+    let deliver li =
+      let l = live_arr.(li) in
+      let actual = stepped.(li) in
+      let states = l.l_states in
+      for i = 0 to n - 1 do
+        match states.(i) with
+        | Proto.Step (_, k) ->
+            let inbox =
+              Array.init n (fun s ->
+                  if s = i then actual.(i).(i)
+                  else Hashtbl.find_opt tables.(s).(i) l.l_sid)
+            in
+            states.(i) <-
+              settle ~telemetry:l.l_telemetry ~corrupt ~sid:l.l_sid
+                ~round:l.l_metrics.Metrics.rounds l.l_labels i (k inbox)
+        | Proto.Done _ -> ()
+        | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
+      done
+    in
+    (match pool with
+    | Some pool -> Pool.parallel_for ~domains pool ~n:k_live deliver
+    | None ->
+        for li = 0 to k_live - 1 do
+          deliver li
+        done);
+    (* 7. Retire sessions whose honest parties have all terminated. *)
     live :=
       List.filter
         (fun l ->
@@ -434,6 +486,23 @@ let run_sim ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
         honest_bits_total;
       };
   }
+
+(* ---- simulator backend ---------------------------------------------------- *)
+
+let run_sim ?max_rounds ?domains ?trace ?telemetry ~n ~t ~corrupt specs =
+  run_core ?max_rounds ?domains ?trace ?telemetry
+    ~transport:(Transport.loopback ()) ~n ~t ~corrupt specs
+
+(* ---- poll backend ---------------------------------------------------------- *)
+
+let run_poll ?max_rounds ?domains ?trace ?telemetry ?outbuf ~n ~t ~corrupt
+    specs =
+  let net = Net_poll.create ?outbuf ~n () in
+  Fun.protect
+    ~finally:(fun () -> Net_poll.close net)
+    (fun () ->
+      run_core ?max_rounds ?domains ?trace ?telemetry
+        ~transport:(Net_poll.transport net) ~n ~t ~corrupt specs)
 
 (* ---- socket backend ------------------------------------------------------- *)
 

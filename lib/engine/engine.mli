@@ -83,6 +83,28 @@ exception Round_limit_exceeded of int
 
 val default_max_rounds : int
 
+val run_core :
+  ?max_rounds:int ->
+  ?domains:int ->
+  ?trace:Net.Trace.t ->
+  ?telemetry:Telemetry.t ->
+  transport:Net.Transport.t ->
+  n:int ->
+  t:int ->
+  corrupt:bool array ->
+  'a spec list ->
+  'a outcome
+(** The round-driven scheduler behind {!run_sim} and {!run_poll},
+    parameterized over the byte transport. Each engine round the core
+    computes every live session's sends (the simulator semantics, adversary
+    PRNG order included), encodes one coalesced {!Wire.Frame} per ordered
+    pair, hands the full frame matrix to {!Net.Transport.exchange}, and
+    delivers from what came back. Any transport that moves the frames
+    faithfully yields bit-identical outputs, per-session metrics, aggregate
+    ledger and telemetry — the property the cross-backend tests pin down.
+    Raises like {!run_sim}; transport failures propagate as the transport's
+    own exceptions. *)
+
 val run_sim :
   ?max_rounds:int ->
   ?domains:int ->
@@ -116,6 +138,27 @@ val run_sim :
     Raises [Invalid_argument] on inconsistent parameters (corrupt-array
     size, more corruptions than [t], duplicate or negative sids, negative
     start rounds, empty session list, [domains < 1]). *)
+
+val run_poll :
+  ?max_rounds:int ->
+  ?domains:int ->
+  ?trace:Net.Trace.t ->
+  ?telemetry:Telemetry.t ->
+  ?outbuf:int ->
+  n:int ->
+  t:int ->
+  corrupt:bool array ->
+  'a spec list ->
+  'a outcome
+(** Execute every session over the single-process event-driven socket mesh
+    ({!Net_poll}): nonblocking fds, one [select] loop, bounded per-connection
+    outbound rings with explicit backpressure. Full simulator semantics —
+    per-session adversaries, traces, telemetry — with the round's bytes
+    actually moving through sockets; outputs, per-session metrics, the
+    aggregate ledger and the telemetry JSONL are byte-identical to
+    {!run_sim} on the same inputs (asserted by [test/test_poll.ml]).
+    [outbuf] is the per-connection ring capacity (default 64 KiB) — shrink
+    it to exercise parking. The mesh is torn down on every exit path. *)
 
 val run_unix :
   ?t:int ->

@@ -1,0 +1,14 @@
+type bundles = (int * string) list array array
+
+type t = {
+  name : string;
+  exchange : round:int -> frames:string array array -> entries:bundles -> bundles;
+  close : unit -> unit;
+}
+
+let loopback () =
+  {
+    name = "loopback";
+    exchange = (fun ~round:_ ~frames:_ ~entries -> entries);
+    close = ignore;
+  }

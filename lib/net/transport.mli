@@ -1,0 +1,39 @@
+(** The transport seam between the session engine and the byte-moving layer.
+
+    Each engine round, the engine coalesces every live session's traffic
+    between an ordered pair of parties into one {!Wire.Frame}; a transport's
+    only job is to move those frames from senders to recipients and hand back
+    the decoded entry lists. Factoring this signature out of the execution
+    backends ([Net.Sim]-style in-memory delivery, [Net_unix]'s thread-per-party
+    socket mesh, [Net_poll]'s single-process event loop) lets one engine core
+    drive all of them — and makes the bit-identity invariant structural: the
+    engine computes messages, metrics and telemetry identically no matter
+    which transport carries the bytes.
+
+    A transport is an {e exchange}: a per-round barrier that accepts the
+    round's full frame matrix and returns the delivered entries. Within the
+    exchange a real transport is free to be event-driven (nonblocking I/O,
+    partial writes, backpressure) — the engine only observes the completed
+    round. *)
+
+type bundles = (int * string) list array array
+(** [b.(src).(dst)] is the ordered [(sid, payload)] entry list of the frame
+    from [src] to [dst], in admission order; the diagonal is unused. *)
+
+type t = {
+  name : string;  (** Backend name, e.g. ["loopback"] or ["poll"]. *)
+  exchange : round:int -> frames:string array array -> entries:bundles -> bundles;
+      (** Move one engine round's traffic. [frames.(s).(d)] is the encoded
+          {!Wire.Frame} (empty frames included — they are the keep-alives that
+          hold rounds together); [entries] is the same data pre-decoded, which
+          an in-memory transport may return without touching the bytes. The
+          result is indexed like [entries]; a lossless transport returns
+          exactly [entries]. Raises [Failure] on transport-level violations
+          (undecodable frame, wrong round). *)
+  close : unit -> unit;
+      (** Release transport resources; idempotent. *)
+}
+
+val loopback : unit -> t
+(** The in-memory transport: delivery is the identity on [entries], no bytes
+    move. [Engine.run_sim] is the engine core over this transport. *)

@@ -1,0 +1,352 @@
+(* Single-process event loop. One socketpair per unordered party pair; the
+   directed connection src->dst writes on src's endpoint and reads on dst's,
+   so each fd has exactly one writer role and one reader role (possibly
+   active in the same select).
+
+   Wire format per direction: u32 big-endian body length, then the encoded
+   Wire.Frame — the same stream Net_unix.run_sessions speaks, decoded here
+   incrementally by Wire.Frame.Decoder so a frame split across any number of
+   partial reads reassembles without ever blocking the loop. *)
+
+type stats = {
+  p_rounds : int;
+  p_frames : int;
+  p_frame_bytes : int;
+  p_wire_bytes : int;
+  p_reads : int;
+  p_writes : int;
+  p_polls : int;
+  p_parked : int;
+  p_max_backlog : int;
+}
+
+(* ---- bounded byte ring ---------------------------------------------------- *)
+
+module Ring = struct
+  type t = {
+    buf : Bytes.t;
+    mutable head : int;  (* read position *)
+    mutable len : int;
+  }
+
+  let create cap = { buf = Bytes.create cap; head = 0; len = 0 }
+  let capacity r = Bytes.length r.buf
+  let length r = r.len
+  let free r = capacity r - r.len
+
+  (* Copy as much of [src.[off..]] as fits; returns the bytes taken. *)
+  let push r src off =
+    let cap = capacity r in
+    let take = min (String.length src - off) (free r) in
+    let tail = (r.head + r.len) mod cap in
+    let first = min take (cap - tail) in
+    Bytes.blit_string src off r.buf tail first;
+    if take > first then Bytes.blit_string src (off + first) r.buf 0 (take - first);
+    r.len <- r.len + take;
+    take
+
+  (* One nonblocking write of the contiguous prefix; returns bytes written
+     (0 on EAGAIN). *)
+  let write_fd r fd =
+    if r.len = 0 then 0
+    else begin
+      let cap = capacity r in
+      let chunk = min r.len (cap - r.head) in
+      match Unix.write fd r.buf r.head chunk with
+      | written ->
+          r.head <- (r.head + written) mod cap;
+          r.len <- r.len - written;
+          if r.len = 0 then r.head <- 0;
+          written
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> 0
+    end
+end
+
+(* ---- connections ---------------------------------------------------------- *)
+
+type conn = {
+  c_src : int;
+  c_dst : int;
+  c_wfd : Unix.file_descr;  (* src's endpoint: this direction writes here *)
+  c_rfd : Unix.file_descr;  (* dst's endpoint: this direction reads here *)
+  c_ring : Ring.t;
+  c_dec : Wire.Frame.Decoder.t;
+  mutable c_frame : string;  (* prefixed bytes of the round's outbound frame *)
+  mutable c_off : int;  (* bytes of [c_frame] already admitted to the ring *)
+  mutable c_rcvd : (int * string) list option;  (* decoded inbound entries *)
+}
+
+type t = {
+  n : int;
+  conns : conn array;  (* every ordered pair, src-major *)
+  pair_fds : Unix.file_descr list;  (* each endpoint once, for close *)
+  scratch : Bytes.t;
+  mutable closed : bool;
+  mutable s_rounds : int;
+  mutable s_frames : int;
+  mutable s_frame_bytes : int;
+  mutable s_wire_bytes : int;
+  mutable s_reads : int;
+  mutable s_writes : int;
+  mutable s_polls : int;
+  mutable s_parked : int;
+  mutable s_max_backlog : int;
+}
+
+let stall_timeout = 30.0
+
+let create ?(outbuf = 64 * 1024) ?(max_frame = Wire.Frame.max_frame_bytes) ~n ()
+    =
+  if n < 1 then invalid_arg "Net_poll.create: n < 1";
+  let outbuf = max outbuf 16 in
+  (* endpoints.(i).(j): party i's end of the (i, j) socketpair. *)
+  let endpoints = Array.make_matrix n n Unix.stdin in
+  let pair_fds = ref [] in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         Unix.set_nonblock a;
+         Unix.set_nonblock b;
+         endpoints.(i).(j) <- a;
+         endpoints.(j).(i) <- b;
+         pair_fds := a :: b :: !pair_fds
+       done
+     done
+   with e ->
+     (* No fd leak on a failed mesh bring-up. *)
+     List.iter
+       (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+       !pair_fds;
+     raise e);
+  let conns = ref [] in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if src <> dst then
+        conns :=
+          {
+            c_src = src;
+            c_dst = dst;
+            c_wfd = endpoints.(src).(dst);
+            c_rfd = endpoints.(dst).(src);
+            c_ring = Ring.create outbuf;
+            c_dec = Wire.Frame.Decoder.create ~max_frame ();
+            c_frame = "";
+            c_off = 0;
+            c_rcvd = None;
+          }
+          :: !conns
+    done
+  done;
+  {
+    n;
+    conns = Array.of_list !conns;
+    pair_fds = !pair_fds;
+    scratch = Bytes.create 65536;
+    closed = false;
+    s_rounds = 0;
+    s_frames = 0;
+    s_frame_bytes = 0;
+    s_wire_bytes = 0;
+    s_reads = 0;
+    s_writes = 0;
+    s_polls = 0;
+    s_parked = 0;
+    s_max_backlog = 0;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.pair_fds
+  end
+
+let stats t =
+  {
+    p_rounds = t.s_rounds;
+    p_frames = t.s_frames;
+    p_frame_bytes = t.s_frame_bytes;
+    p_wire_bytes = t.s_wire_bytes;
+    p_reads = t.s_reads;
+    p_writes = t.s_writes;
+    p_polls = t.s_polls;
+    p_parked = t.s_parked;
+    p_max_backlog = t.s_max_backlog;
+  }
+
+let prefix body =
+  let len = String.length body in
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  Bytes.to_string b ^ body
+
+(* Bytes not yet flushed to the kernel for one connection. *)
+let backlog c = Ring.length c.c_ring + (String.length c.c_frame - c.c_off)
+
+(* Admit parked frame bytes into the ring, then flush the ring. Returns true
+   if any byte moved to the kernel. *)
+let service_write t c =
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue do
+    if c.c_off < String.length c.c_frame then
+      c.c_off <- c.c_off + Ring.push c.c_ring c.c_frame c.c_off;
+    let written = Ring.write_fd c.c_ring c.c_wfd in
+    if written > 0 then begin
+      t.s_writes <- t.s_writes + 1;
+      progressed := true
+    end
+    else continue := false;
+    if Ring.length c.c_ring = 0 && c.c_off = String.length c.c_frame then
+      continue := false
+  done;
+  !progressed
+
+let service_read t ~round c =
+  match Unix.read c.c_rfd t.scratch 0 (Bytes.length t.scratch) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | 0 -> failwith "Net_poll: connection closed mid-round"
+  | k ->
+      t.s_reads <- t.s_reads + 1;
+      Wire.Frame.Decoder.feed c.c_dec (Bytes.sub_string t.scratch 0 k);
+      let rec pump () =
+        match Wire.Frame.Decoder.next c.c_dec with
+        | Error msg -> failwith ("Net_poll: " ^ msg)
+        | Ok None -> ()
+        | Ok (Some frame) ->
+            if frame.Wire.Frame.round <> round then
+              failwith
+                (Printf.sprintf "Net_poll: expected round %d, got %d" round
+                   frame.Wire.Frame.round);
+            (match c.c_rcvd with
+            | Some _ -> failwith "Net_poll: duplicate frame in one round"
+            | None -> c.c_rcvd <- Some frame.Wire.Frame.entries);
+            pump ()
+      in
+      pump ()
+
+let exchange t ~round frames =
+  if t.closed then invalid_arg "Net_poll.exchange: closed";
+  if
+    Array.length frames <> t.n
+    || Array.exists (fun row -> Array.length row <> t.n) frames
+  then invalid_arg "Net_poll.exchange: frame matrix shape";
+  (* Load the round: every connection gets its prefixed frame; whatever fits
+     goes straight into the ring, the rest parks. *)
+  Array.iter
+    (fun c ->
+      let body = frames.(c.c_src).(c.c_dst) in
+      c.c_frame <- prefix body;
+      c.c_off <- Ring.push c.c_ring c.c_frame 0;
+      c.c_rcvd <- None;
+      t.s_frames <- t.s_frames + 1;
+      t.s_frame_bytes <- t.s_frame_bytes + String.length body;
+      t.s_wire_bytes <- t.s_wire_bytes + String.length c.c_frame;
+      if c.c_off < String.length c.c_frame then t.s_parked <- t.s_parked + 1;
+      t.s_max_backlog <- max t.s_max_backlog (backlog c))
+    t.conns;
+  let undone = ref (Array.length t.conns) in
+  (* Drain any bytes the decoders already hold (cannot happen between
+     lock-step rounds, but keeps the loop's invariant local). *)
+  Array.iter
+    (fun c ->
+      if Wire.Frame.Decoder.buffered c.c_dec > 0 then service_read t ~round c;
+      if c.c_rcvd <> None then decr undone)
+    t.conns;
+  while !undone > 0 do
+    let wconns = ref [] and rconns = ref [] in
+    Array.iter
+      (fun c ->
+        if backlog c > 0 then wconns := c :: !wconns;
+        if c.c_rcvd = None then rconns := c :: !rconns)
+      t.conns;
+    let rfds = List.map (fun c -> c.c_rfd) !rconns in
+    let wfds = List.map (fun c -> c.c_wfd) !wconns in
+    t.s_polls <- t.s_polls + 1;
+    let readable, writable, _ = Unix.select rfds wfds [] stall_timeout in
+    if readable = [] && writable = [] then
+      failwith "Net_poll: stalled (nothing readable or writable)";
+    List.iter
+      (fun c ->
+        if List.memq c.c_wfd writable then begin
+          ignore (service_write t c);
+          t.s_max_backlog <- max t.s_max_backlog (backlog c)
+        end)
+      !wconns;
+    List.iter
+      (fun c ->
+        if List.memq c.c_rfd readable && c.c_rcvd = None then begin
+          service_read t ~round c;
+          if c.c_rcvd <> None then decr undone
+        end)
+      !rconns
+  done;
+  t.s_rounds <- t.s_rounds + 1;
+  let received = Array.make_matrix t.n t.n [] in
+  Array.iter
+    (fun c ->
+      match c.c_rcvd with
+      | Some entries -> received.(c.c_src).(c.c_dst) <- entries
+      | None -> assert false)
+    t.conns;
+  received
+
+let transport t =
+  {
+    Net.Transport.name = "poll";
+    exchange = (fun ~round ~frames ~entries:_ -> exchange t ~round frames);
+    close = (fun () -> close t);
+  }
+
+(* ---- process memory probes ------------------------------------------------ *)
+
+let read_proc_line path =
+  match open_in path with
+  | ic ->
+      let line = try Some (input_line ic) with End_of_file -> None in
+      close_in ic;
+      line
+  | exception Sys_error _ -> None
+
+let rss_bytes () =
+  (* /proc/self/statm field 2 is the resident set in pages; the page size on
+     every platform this repo targets is 4096 (no getpagesize binding in the
+     stdlib's Unix). *)
+  match read_proc_line "/proc/self/statm" with
+  | None -> None
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | _ :: resident :: _ -> (
+          match int_of_string_opt resident with
+          | Some pages -> Some (pages * 4096)
+          | None -> None)
+      | _ -> None)
+
+let rss_peak_bytes () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let rest = String.sub line 6 (String.length line - 6) in
+              let digits =
+                String.to_seq rest
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              match int_of_string_opt digits with
+              | Some kb -> Some (kb * 1024)
+              | None -> None
+            else scan ()
+      in
+      let r = scan () in
+      close_in ic;
+      r

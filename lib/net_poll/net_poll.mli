@@ -1,0 +1,82 @@
+(** Event-driven transport: a single-process poll loop over nonblocking
+    sockets.
+
+    [Net_unix] spawns one thread per party plus one receiver thread per
+    connection — fine for a handful of parties, hopeless as a substrate for
+    the engine's scale-out story (10⁴+ concurrent sessions from one process).
+    This module moves the same coalesced {!Wire.Frame} traffic with {e zero}
+    threads: one [Unix.select] loop over a full mesh of nonblocking socket
+    pairs, a bounded outbound ring buffer per connection, and the incremental
+    {!Wire.Frame.Decoder} on the receive side, resumable across partial
+    reads.
+
+    Backpressure is explicit: a connection whose outbound ring is full parks
+    its remaining frame bytes instead of blocking anything — the loop keeps
+    servicing every other connection and tops the ring up as the kernel
+    buffer drains (counted in {!stats}). This is the shape under which the
+    paper's communication-optimality is observable at scale: cost is words
+    on the wire, not threads or syscalls per session.
+
+    The unit of work is an {e exchange} — one engine round's full frame
+    matrix in, the delivered entries out (see {!Net.Transport}). Within an
+    exchange, everything is event-driven; across exchanges the engine keeps
+    its lock-step round structure, which is what makes the poll backend
+    bit-identical to the simulator. *)
+
+type stats = {
+  p_rounds : int;  (** Exchanges completed. *)
+  p_frames : int;  (** Frames moved (keep-alive empties included). *)
+  p_frame_bytes : int;
+      (** Encoded frame bytes, excluding the u32 length prefix — comparable
+          with the engine ledger's [frame_bytes]. *)
+  p_wire_bytes : int;  (** Bytes written to sockets, prefixes included. *)
+  p_reads : int;  (** [read(2)] calls that returned data. *)
+  p_writes : int;  (** [write(2)] calls that moved data. *)
+  p_polls : int;  (** [select(2)] iterations. *)
+  p_parked : int;
+      (** Backpressure events: a connection's frame did not fit into its
+          outbound ring in one piece and parked for a later top-up. *)
+  p_max_backlog : int;
+      (** Peak bytes queued behind a single connection (ring + parked). *)
+}
+
+type t
+
+val create : ?outbuf:int -> ?max_frame:int -> n:int -> unit -> t
+(** Build the nonblocking socket mesh for [n] parties. [outbuf] (default
+    64 KiB, minimum 16 bytes) is the per-connection outbound ring capacity —
+    shrink it to force parking in tests; [max_frame] (default
+    {!Wire.Frame.max_frame_bytes}) bounds accepted frame bodies. Raises
+    [Invalid_argument] if [n < 1]. *)
+
+val exchange :
+  t -> round:int -> string array array -> (int * string) list array array
+(** [exchange t ~round frames] moves [frames.(src).(dst)] (an encoded
+    {!Wire.Frame}, the diagonal ignored) to its recipient and returns the
+    decoded entry lists, indexed the same way. Every off-diagonal frame is
+    sent, empties included. Raises [Failure] on transport violations: a
+    frame that decodes to the wrong round, an undecodable or oversized
+    stream, or a stalled loop (nothing readable or writable for 30 s —
+    cannot happen unless the mesh is externally damaged). Raises
+    [Invalid_argument] after {!close} or on a mis-shaped matrix. *)
+
+val stats : t -> stats
+
+val transport : t -> Net.Transport.t
+(** The {!Net.Transport} view driven by [Engine.run_poll]: [exchange]
+    ignores the pre-decoded entries and trusts only the wire. [close]
+    closes the mesh. *)
+
+val close : t -> unit
+(** Close every socket; idempotent. *)
+
+(** {1 Process memory probes}
+
+    Linux-only helpers (read from [/proc/self]); [None] where unavailable.
+    The soak's RSS ceiling and the bench's [rss_bytes] column use these. *)
+
+val rss_bytes : unit -> int option
+(** Current resident set size, in bytes. *)
+
+val rss_peak_bytes : unit -> int option
+(** Peak resident set size ([VmHWM]), in bytes. *)

@@ -113,6 +113,12 @@ let write_session_frame oc body =
 
 let read_session_frame ic =
   let len = read_u32 ic in
+  (* Bound the declared length before allocating — a corrupted or hostile
+     stream must not be able to trigger a near-4 GiB allocation. *)
+  if len > Wire.Frame.max_frame_bytes then
+    failwith
+      (Printf.sprintf "Net_unix: frame length %d exceeds max %d" len
+         Wire.Frame.max_frame_bytes);
   let body = really_input_string ic len in
   match Wire.Frame.decode body with
   | Some f -> (f.Wire.Frame.round, f.Wire.Frame.entries)
@@ -126,17 +132,75 @@ let ignore_sigpipe () =
   if Sys.os_type = "Unix" then
     try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
-(* Socket mesh: fds.(i).(j) is party i's endpoint towards party j. *)
+(* Socket mesh: fds.(i).(j) is party i's endpoint towards party j. A
+   partially built mesh is torn down before the error propagates — bring-up
+   failure (fd exhaustion, typically) must not leak the pairs already
+   created. *)
 let make_mesh n =
   let fds = Array.make_matrix n n Unix.stdin in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      fds.(i).(j) <- a;
-      fds.(j).(i) <- b
-    done
-  done;
+  let created = ref [] in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         created := a :: b :: !created;
+         fds.(i).(j) <- a;
+         fds.(j).(i) <- b
+       done
+     done
+   with e ->
+     List.iter
+       (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+       !created;
+     raise e);
   fds
+
+(* ---- client-side connect -------------------------------------------------- *)
+
+(* Nonblocking connect with a deadline and exponential backoff between
+   attempts. The blocking [Unix.connect] this replaces could hang for the
+   kernel's full SYN timeout on an unresponsive peer; here every attempt is
+   bounded by [timeout] and the socket is closed on {e every} error path —
+   a failed bring-up leaks no fd. *)
+let connect_with_retry ?(attempts = 3) ?(timeout = 1.0) ?(backoff = 0.05) addr =
+  if attempts < 1 then invalid_arg "Net_unix.connect_with_retry: attempts < 1";
+  let domain = Unix.domain_of_sockaddr addr in
+  let rec attempt k last_err =
+    if k >= attempts then
+      match last_err with
+      | Some e -> raise e
+      | None -> failwith "Net_unix.connect_with_retry: no attempts made"
+    else begin
+      if k > 0 then Unix.sleepf (backoff *. (2.0 ** float_of_int (k - 1)));
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      let fail e =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        attempt (k + 1) (Some e)
+      in
+      Unix.set_nonblock fd;
+      match Unix.connect fd addr with
+      | () ->
+          Unix.clear_nonblock fd;
+          fd
+      | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+        -> (
+          (* Connection in flight: wait for writability, then read the
+             outcome from SO_ERROR. *)
+          match Unix.select [] [ fd ] [] timeout with
+          | [], [], [] ->
+              fail
+                (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+          | _ -> (
+              match Unix.getsockopt_error fd with
+              | None ->
+                  Unix.clear_nonblock fd;
+                  fd
+              | Some err -> fail (Unix.Unix_error (err, "connect", "")))
+          | exception e -> fail e)
+      | exception e -> fail e
+    end
+  in
+  attempt 0 None
 
 (* Receiver threads: one per directed connection, parameterized over the
    frame reader so both wire formats share the draining discipline. *)

@@ -27,6 +27,22 @@ type stats = {
   rounds : int;  (** Maximum round count over parties. *)
 }
 
+val connect_with_retry :
+  ?attempts:int ->
+  ?timeout:float ->
+  ?backoff:float ->
+  Unix.sockaddr ->
+  Unix.file_descr
+(** Connect a fresh stream socket to [addr] without ever blocking
+    indefinitely: each attempt is a nonblocking [connect] bounded by
+    [timeout] seconds (default 1.0), retried up to [attempts] times
+    (default 3) with exponential backoff starting at [backoff] seconds
+    (default 0.05). Returns the connected socket in blocking mode. On
+    failure every attempt's socket has been closed — no fd leaks — and the
+    last attempt's [Unix.Unix_error] is re-raised (e.g. [ETIMEDOUT] for an
+    unresponsive peer, [ECONNREFUSED]/[ENOENT] for an absent one). Raises
+    [Invalid_argument] if [attempts < 1]. *)
+
 val run :
   ?t:int ->
   ?telemetry:Telemetry.t ->

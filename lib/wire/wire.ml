@@ -152,17 +152,99 @@ module Frame = struct
   type t = { round : int; entries : (int * string) list }
 
   let max_sessions = 65536
+  let max_frame_bytes = default_max_bytes
 
   let encode { round; entries } =
     encode (seq [ w_varint round; w_list (w_pair w_varint w_bytes) entries ])
 
   let decode s =
-    decode_full
-      (fun cur ->
-        let* round = r_varint cur in
-        let* entries =
-          r_list ~max:max_sessions (r_pair r_varint (r_bytes ())) cur
-        in
-        Some { round; entries })
-      s
+    if String.length s > max_frame_bytes then None
+    else
+      decode_full
+        (fun cur ->
+          let* round = r_varint cur in
+          let* entries =
+            r_list ~max:max_sessions (r_pair r_varint (r_bytes ())) cur
+          in
+          Some { round; entries })
+        s
+
+  (* Incremental decoding of the length-prefixed frame stream the socket
+     transports speak: u32 big-endian body length, then the encoded frame.
+     The decoder is resumable across arbitrary chunk boundaries and total —
+     malformed input parks it in a sticky error state, it never raises. *)
+  module Decoder = struct
+    type state = Running | Failed of string
+
+    type t = {
+      max_frame : int;
+      mutable buf : Bytes.t;  (* [lo, hi) holds the undecoded bytes *)
+      mutable lo : int;
+      mutable hi : int;
+      mutable state : state;
+    }
+
+    let create ?(max_frame = max_frame_bytes) () =
+      {
+        max_frame;
+        buf = Bytes.create 4096;
+        lo = 0;
+        hi = 0;
+        state = Running;
+      }
+
+    let buffered d = d.hi - d.lo
+
+    let feed d s =
+      match d.state with
+      | Failed _ -> ()
+      | Running ->
+          let len = String.length s in
+          let need = buffered d + len in
+          if Bytes.length d.buf - d.hi < len then begin
+            (* Compact, growing only when the live region itself outgrows
+               the buffer. *)
+            let cap = max (Bytes.length d.buf) 64 in
+            let cap = if need > cap then max need (2 * cap) else cap in
+            let buf = if cap > Bytes.length d.buf then Bytes.create cap else d.buf in
+            Bytes.blit d.buf d.lo buf 0 (buffered d);
+            d.hi <- buffered d;
+            d.lo <- 0;
+            d.buf <- buf
+          end;
+          Bytes.blit_string s 0 d.buf d.hi len;
+          d.hi <- d.hi + len
+
+    let fail d msg =
+      d.state <- Failed msg;
+      Error msg
+
+    (* [Ok (Some frame)] — one frame decoded and consumed; [Ok None] — the
+       buffered bytes are a (possibly empty) prefix of a valid frame, feed
+       more; [Error] — the stream is malformed (sticky). *)
+    let next d =
+      match d.state with
+      | Failed msg -> Error msg
+      | Running ->
+          if buffered d < 4 then Ok None
+          else begin
+            let b i = Char.code (Bytes.get d.buf (d.lo + i)) in
+            let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+            if len > d.max_frame then
+              fail d
+                (Printf.sprintf "frame length %d exceeds max %d" len d.max_frame)
+            else if buffered d < 4 + len then Ok None
+            else begin
+              let body = Bytes.sub_string d.buf (d.lo + 4) len in
+              d.lo <- d.lo + 4 + len;
+              if d.lo = d.hi then begin
+                d.lo <- 0;
+                d.hi <- 0
+              end;
+              match decode body with
+              | Some frame -> Ok (Some frame)
+              | None -> fail d "undecodable frame body"
+            end
+          end
+  end
 end

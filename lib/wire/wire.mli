@@ -94,8 +94,42 @@ module Frame : sig
   val max_sessions : int
   (** Bound on entries per frame enforced by the decoder. *)
 
+  val max_frame_bytes : int
+  (** Bound on an encoded frame's size (16 MiB). [decode] rejects longer
+      inputs, and the stream decoders (incremental and the socket readers)
+      reject longer declared lengths {e before} allocating — a byzantine peer
+      must not be able to trigger huge allocations. *)
+
   val encode : t -> string
 
   val decode : string -> t option
   (** Total: [None] on any malformation, like every decoder in this module. *)
+
+  type frame := t
+
+  (** Incremental decoding of the length-prefixed frame stream the socket
+      transports speak — [u32 big-endian body length] then the encoded frame,
+      repeated. Resumable across arbitrary chunk boundaries (feed bytes as
+      they arrive, in any split), and total: malformed input moves the
+      decoder into a sticky error state, it never raises. *)
+  module Decoder : sig
+    type t
+
+    val create : ?max_frame:int -> unit -> t
+    (** [max_frame] (default {!max_frame_bytes}) bounds the declared body
+        length accepted from the stream. *)
+
+    val feed : t -> string -> unit
+    (** Append a chunk of stream bytes. Ignored after an error. *)
+
+    val next : t -> (frame option, string) result
+    (** [Ok (Some frame)] — one complete frame decoded and consumed;
+        [Ok None] — the buffered bytes are a (possibly empty) prefix of a
+        valid frame, feed more; [Error msg] — the stream is malformed
+        (oversized declared length or undecodable body); the error is sticky. *)
+
+    val buffered : t -> int
+    (** Bytes fed but not yet consumed by a decoded frame — nonzero at
+        end-of-stream means the stream was truncated mid-frame. *)
+  end
 end

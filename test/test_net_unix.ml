@@ -110,6 +110,59 @@ let test_exception_propagates () =
         (Net_unix.run ~n:3 (fun ctx ->
              if ctx.Ctx.me = 1 then failwith "boom" else Proto.return ())))
 
+let open_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Some (Array.length entries)
+  | exception Sys_error _ -> None
+
+let test_connect_absent_peer () =
+  (* A deliberately absent peer: every attempt must fail fast (no kernel SYN
+     timeout), the retries must actually happen, and no socket may leak. *)
+  let missing = Unix.ADDR_UNIX "/tmp/ca-test-no-such-peer.sock" in
+  (try Sys.remove "/tmp/ca-test-no-such-peer.sock" with Sys_error _ -> ());
+  let before = open_fds () in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Net_unix.connect_with_retry ~attempts:3 ~timeout:0.2 ~backoff:0.01 missing
+   with
+  | _ -> Alcotest.fail "connect to absent peer succeeded"
+  | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) -> ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "backoff between attempts" true (elapsed >= 0.03);
+  Alcotest.(check bool) "fails promptly" true (elapsed < 5.0);
+  (match (before, open_fds ()) with
+  | Some b, Some a -> Alcotest.(check int) "no fd leaked" b a
+  | _ -> ());
+  Alcotest.check_raises "attempts < 1 rejected"
+    (Invalid_argument "Net_unix.connect_with_retry: attempts < 1") (fun () ->
+      ignore (Net_unix.connect_with_retry ~attempts:0 missing))
+
+let test_connect_present_peer () =
+  (* Happy path: a listening peer is reached on the first attempt and the
+     returned socket is connected (a write succeeds). *)
+  let path = Filename.temp_file "ca-test-peer" ".sock" in
+  Sys.remove path;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind srv (Unix.ADDR_UNIX path);
+      Unix.listen srv 1;
+      let fd = Net_unix.connect_with_retry (Unix.ADDR_UNIX path) in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let peer, _ = Unix.accept srv in
+          let sent = Unix.write_substring fd "ping" 0 4 in
+          Alcotest.(check int) "write on connected socket" 4 sent;
+          let buf = Bytes.create 4 in
+          let got = Unix.read peer buf 0 4 in
+          Unix.close peer;
+          Alcotest.(check string) "peer received" "ping"
+            (Bytes.sub_string buf 0 got)))
+
 let suite =
   [
     Alcotest.test_case "roll call" `Quick test_roll_call;
@@ -120,4 +173,7 @@ let suite =
     Alcotest.test_case "long values over sockets" `Slow test_long_values_over_sockets;
     Alcotest.test_case "parallel over sockets" `Quick test_parallel_over_sockets;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+    Alcotest.test_case "connect: absent peer fails fast, no fd leak" `Quick
+      test_connect_absent_peer;
+    Alcotest.test_case "connect: present peer" `Quick test_connect_present_peer;
   ]

@@ -1,0 +1,212 @@
+(* Poll backend: the event-driven transport must be invisible. Outputs,
+   per-session metrics, the aggregate ledger, trace CSV and telemetry JSONL
+   must be byte-identical to the simulator on the same seeds — while every
+   frame actually moves through nonblocking sockets, including under
+   backpressure (outbound rings far smaller than the frames, so bytes park
+   and trickle). Plus direct Net_poll unit tests: parking stats, transport
+   violations, lifecycle, the /proc memory probes. *)
+
+open Net
+
+let fingerprint (o : Bigint.t Engine.outcome) =
+  ( List.map
+      (fun r ->
+        ( r.Engine.r_sid,
+          Array.to_list (Array.map (Option.map Bigint.to_hex) r.Engine.r_outputs),
+          ( r.Engine.r_metrics.Metrics.rounds,
+            r.Engine.r_metrics.Metrics.honest_bits,
+            r.Engine.r_metrics.Metrics.honest_msgs,
+            r.Engine.r_metrics.Metrics.byz_bits,
+            r.Engine.r_metrics.Metrics.byz_msgs ),
+          Metrics.labels r.Engine.r_metrics,
+          (r.Engine.r_admitted_at, r.Engine.r_retired_at) ))
+      o.Engine.sessions,
+    o.Engine.aggregate )
+
+let mk_specs ~n ~sessions ~spacing ~seed =
+  List.init sessions (fun k ->
+      let inputs =
+        let rng = Prng.create (seed + (101 * k)) in
+        Workload.clustered_bits rng ~n ~bits:48 ~shared_prefix_bits:16
+      in
+      Engine.session ~sid:k ~start_round:(spacing * k)
+        ~adversary:(Adversary.equivocate ~seed:(seed + (31 * k)))
+        (fun ctx -> Convex.agree_int ctx inputs.(ctx.Ctx.me)))
+
+let run_backend backend ~sessions ~spacing ~n ~t ~seed =
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let specs = mk_specs ~n ~sessions ~spacing ~seed in
+  let trace = Trace.create () in
+  let telemetry = Telemetry.create () in
+  let outcome =
+    match backend with
+    | `Sim -> Engine.run_sim ~trace ~telemetry ~n ~t ~corrupt specs
+    | `Poll outbuf ->
+        Engine.run_poll ?outbuf ~trace ~telemetry ~n ~t ~corrupt specs
+    | `Poll_domains d ->
+        Engine.run_poll ~domains:d ~trace ~telemetry ~n ~t ~corrupt specs
+  in
+  (fingerprint outcome, Trace.to_csv trace, Telemetry.to_jsonl telemetry)
+
+let check_poll_equals_sim ~sessions ~spacing ~n ~t ~seed backends =
+  let base_fp, base_csv, base_jsonl =
+    run_backend `Sim ~sessions ~spacing ~n ~t ~seed
+  in
+  List.iter
+    (fun (label, backend) ->
+      let fp, csv, jsonl = run_backend backend ~sessions ~spacing ~n ~t ~seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "outputs+metrics+ledger (%s)" label)
+        true (fp = base_fp);
+      Alcotest.(check string)
+        (Printf.sprintf "trace CSV byte-identical (%s)" label)
+        base_csv csv;
+      Alcotest.(check string)
+        (Printf.sprintf "telemetry JSONL byte-identical (%s)" label)
+        base_jsonl jsonl)
+    backends
+
+(* K=8 under equivocate with staggered admission: default rings, starved
+   16-byte rings (every frame parks), and a parallel deliver phase must all
+   reproduce the simulator byte for byte. *)
+let test_poll_equals_sim_k8 () =
+  check_poll_equals_sim ~sessions:8 ~spacing:2 ~n:7 ~t:2 ~seed:4242
+    [
+      ("poll", `Poll None);
+      ("poll outbuf=16", `Poll (Some 16));
+      ("poll domains=2", `Poll_domains 2);
+    ]
+
+let test_poll_equals_sim_k64 () =
+  check_poll_equals_sim ~sessions:64 ~spacing:1 ~n:7 ~t:2 ~seed:777
+    [ ("poll", `Poll None) ]
+
+(* ---- backpressure --------------------------------------------------------- *)
+
+(* One edge's frame dwarfs its 16-byte ring: the bytes must park and trickle
+   while every other connection completes, and the exchange still delivers
+   everything intact. *)
+let test_exchange_slow_edge () =
+  let n = 3 in
+  let net = Net_poll.create ~outbuf:16 ~n () in
+  Fun.protect
+    ~finally:(fun () -> Net_poll.close net)
+    (fun () ->
+      let big = String.init 100_000 (fun i -> Char.chr (i land 0xff)) in
+      let frame entries = Wire.Frame.encode { Wire.Frame.round = 0; entries } in
+      let frames =
+        Array.init n (fun s ->
+            Array.init n (fun d ->
+                if s = d then ""
+                else if s = 0 && d = 1 then frame [ (7, big) ]
+                else frame [ (7, Printf.sprintf "m%d%d" s d) ]))
+      in
+      let delivered = Net_poll.exchange net ~round:0 frames in
+      Alcotest.(check string) "slow edge payload intact" big
+        (List.assoc 7 delivered.(0).(1));
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if s <> d && not (s = 0 && d = 1) then
+            Alcotest.(check string)
+              (Printf.sprintf "edge %d->%d delivered" s d)
+              (Printf.sprintf "m%d%d" s d)
+              (List.assoc 7 delivered.(s).(d))
+        done
+      done;
+      let st = Net_poll.stats net in
+      Alcotest.(check bool) "frames parked under backpressure" true
+        (st.Net_poll.p_parked > 0);
+      Alcotest.(check bool) "backlog peaked near the big frame" true
+        (st.Net_poll.p_max_backlog > 50_000);
+      Alcotest.(check int) "one exchange" 1 st.Net_poll.p_rounds;
+      Alcotest.(check int) "all frames counted" (n * (n - 1))
+        st.Net_poll.p_frames)
+
+(* Engine-level: starved rings force parking on every coalesced frame while
+   the engine still completes all sessions with the simulator's exact
+   ledger. *)
+let test_engine_progresses_under_backpressure () =
+  let n = 7 and t = 2 and sessions = 16 in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let specs = mk_specs ~n ~sessions ~spacing:1 ~seed:1312 in
+  let reference = Engine.run_sim ~n ~t ~corrupt specs in
+  let net = Net_poll.create ~outbuf:64 ~n () in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Net_poll.close net)
+      (fun () ->
+        Engine.run_core ~transport:(Net_poll.transport net) ~n ~t ~corrupt
+          specs)
+  in
+  Alcotest.(check bool) "outcome identical to sim" true
+    (fingerprint outcome = fingerprint reference);
+  let st = Net_poll.stats net in
+  Alcotest.(check int) "transport saw every engine round"
+    outcome.Engine.aggregate.Engine.engine_rounds st.Net_poll.p_rounds;
+  Alcotest.(check int) "transport moved every ledger frame"
+    outcome.Engine.aggregate.Engine.frames_sent st.Net_poll.p_frames;
+  Alcotest.(check int) "transport frame bytes match the ledger"
+    outcome.Engine.aggregate.Engine.frame_bytes st.Net_poll.p_frame_bytes;
+  Alcotest.(check bool) "starved rings parked frames" true
+    (st.Net_poll.p_parked > 0);
+  Alcotest.(check bool) "wire bytes = frame bytes + prefixes" true
+    (st.Net_poll.p_wire_bytes
+    = st.Net_poll.p_frame_bytes + (4 * st.Net_poll.p_frames))
+
+(* ---- transport violations and lifecycle ----------------------------------- *)
+
+let test_wrong_round_rejected () =
+  let net = Net_poll.create ~n:2 () in
+  Fun.protect
+    ~finally:(fun () -> Net_poll.close net)
+    (fun () ->
+      let frames =
+        Array.init 2 (fun s ->
+            Array.init 2 (fun d ->
+                if s = d then ""
+                else Wire.Frame.encode { Wire.Frame.round = 9; entries = [] }))
+      in
+      Alcotest.check_raises "round mismatch"
+        (Failure "Net_poll: expected round 3, got 9") (fun () ->
+          ignore (Net_poll.exchange net ~round:3 frames)))
+
+let test_lifecycle () =
+  Alcotest.check_raises "n < 1" (Invalid_argument "Net_poll.create: n < 1")
+    (fun () -> ignore (Net_poll.create ~n:0 ()));
+  let net = Net_poll.create ~n:2 () in
+  Net_poll.close net;
+  Net_poll.close net;
+  Alcotest.check_raises "exchange after close"
+    (Invalid_argument "Net_poll.exchange: closed") (fun () ->
+      ignore (Net_poll.exchange net ~round:0 (Array.make_matrix 2 2 "")));
+  let net = Net_poll.create ~n:3 () in
+  Fun.protect
+    ~finally:(fun () -> Net_poll.close net)
+    (fun () ->
+      Alcotest.check_raises "mis-shaped matrix"
+        (Invalid_argument "Net_poll.exchange: frame matrix shape") (fun () ->
+          ignore (Net_poll.exchange net ~round:0 (Array.make_matrix 2 2 ""))))
+
+let test_rss_probes () =
+  (match Net_poll.rss_bytes () with
+  | Some b -> Alcotest.(check bool) "rss positive" true (b > 0)
+  | None -> Alcotest.fail "rss_bytes unavailable on Linux");
+  match Net_poll.rss_peak_bytes () with
+  | Some b -> Alcotest.(check bool) "peak rss positive" true (b > 0)
+  | None -> Alcotest.fail "rss_peak_bytes unavailable on Linux"
+
+let suite =
+  [
+    Alcotest.test_case "poll = sim: K=8 equivocate, staggered, tiny rings"
+      `Quick test_poll_equals_sim_k8;
+    Alcotest.test_case "poll = sim: K=64 equivocate" `Quick
+      test_poll_equals_sim_k64;
+    Alcotest.test_case "slow edge parks, everything still delivered" `Quick
+      test_exchange_slow_edge;
+    Alcotest.test_case "engine progresses under starved rings" `Quick
+      test_engine_progresses_under_backpressure;
+    Alcotest.test_case "wrong-round frame rejected" `Quick
+      test_wrong_round_rejected;
+    Alcotest.test_case "create/close/exchange lifecycle" `Quick test_lifecycle;
+    Alcotest.test_case "/proc memory probes" `Quick test_rss_probes;
+  ]

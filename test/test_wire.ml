@@ -115,9 +115,136 @@ let prop_session_frame_roundtrip =
     (fun (round, entries) ->
       Wire.Frame.(decode (encode { round; entries })) = Some { Wire.Frame.round; entries })
 
+(* ---- incremental frame-stream decoder ------------------------------------- *)
+
+let u32_prefix body =
+  let len = String.length body in
+  Printf.sprintf "%c%c%c%c%s"
+    (Char.chr ((len lsr 24) land 0xff))
+    (Char.chr ((len lsr 16) land 0xff))
+    (Char.chr ((len lsr 8) land 0xff))
+    (Char.chr (len land 0xff))
+    body
+
+let stream_of frames =
+  String.concat "" (List.map (fun f -> u32_prefix (Wire.Frame.encode f)) frames)
+
+let drain dec =
+  let rec go acc =
+    match Wire.Frame.Decoder.next dec with
+    | Ok (Some f) -> go (f :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error msg -> Error msg
+  in
+  go []
+
+(* Feed [s] in chunks of [size] bytes, draining after every chunk. *)
+let feed_chunked dec s size =
+  let frames = ref [] in
+  let err = ref None in
+  let i = ref 0 in
+  while !i < String.length s && !err = None do
+    let k = min size (String.length s - !i) in
+    Wire.Frame.Decoder.feed dec (String.sub s !i k);
+    i := !i + k;
+    match drain dec with
+    | Ok fs -> frames := !frames @ fs
+    | Error msg -> err := Some msg
+  done;
+  match !err with Some msg -> Error msg | None -> Ok !frames
+
+let sample_frames =
+  [
+    { Wire.Frame.round = 0; entries = [] };
+    { Wire.Frame.round = 3; entries = [ (0, "alpha"); (5, "") ] };
+    { Wire.Frame.round = 4; entries = [ (1, String.make 300 'x') ] };
+    { Wire.Frame.round = 5; entries = List.init 20 (fun i -> (i, "p")) };
+  ]
+
+let test_decoder_split_boundaries () =
+  let s = stream_of sample_frames in
+  List.iter
+    (fun size ->
+      let dec = Wire.Frame.Decoder.create () in
+      match feed_chunked dec s size with
+      | Ok frames ->
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "chunk size %d recovers all frames" size)
+            true (frames = sample_frames);
+          Alcotest.check Alcotest.int
+            (Printf.sprintf "chunk size %d leaves nothing buffered" size)
+            0
+            (Wire.Frame.Decoder.buffered dec)
+      | Error msg -> Alcotest.fail msg)
+    [ 1; 2; 3; 7; 64; String.length s ]
+
+let test_decoder_truncation () =
+  (* A prefix cut anywhere inside a frame is a clean "feed me more", at every
+     possible cut point — decoding is total on truncation. *)
+  let s = stream_of [ List.nth sample_frames 1 ] in
+  for cut = 0 to String.length s - 1 do
+    let dec = Wire.Frame.Decoder.create () in
+    Wire.Frame.Decoder.feed dec (String.sub s 0 cut);
+    match Wire.Frame.Decoder.next dec with
+    | Ok None -> ()
+    | Ok (Some _) -> Alcotest.fail (Printf.sprintf "cut %d: frame from prefix" cut)
+    | Error msg -> Alcotest.fail (Printf.sprintf "cut %d: %s" cut msg)
+  done
+
+let test_decoder_oversize_and_garbage () =
+  (* Declared length beyond the bound fails before any body arrives, and the
+     error is sticky. *)
+  let dec = Wire.Frame.Decoder.create ~max_frame:64 () in
+  Wire.Frame.Decoder.feed dec (u32_prefix (String.make 65 'z'));
+  (match Wire.Frame.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized declared length accepted");
+  Wire.Frame.Decoder.feed dec (stream_of [ List.hd sample_frames ]);
+  (match Wire.Frame.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "error not sticky");
+  (* A well-formed prefix around an undecodable body also fails cleanly. *)
+  let dec = Wire.Frame.Decoder.create () in
+  Wire.Frame.Decoder.feed dec (u32_prefix "\xff\xff\xff\xff");
+  match Wire.Frame.Decoder.next dec with
+  | Error msg ->
+      Alcotest.check Alcotest.string "body diagnostic" "undecodable frame body"
+        msg
+  | Ok _ -> Alcotest.fail "garbage body accepted"
+
+let prop_decoder_chunked_roundtrip =
+  QCheck.Test.make ~name:"frame stream roundtrip under random chunking"
+    ~count:100
+    QCheck.(
+      pair
+        (small_list (pair small_nat (small_list (pair small_nat string))))
+        (int_range 1 17))
+    (fun (raw, size) ->
+      let frames =
+        List.map (fun (round, entries) -> { Wire.Frame.round; entries }) raw
+      in
+      let dec = Wire.Frame.Decoder.create () in
+      feed_chunked dec (stream_of frames) size = Ok frames)
+
+let prop_decoder_garbage_total =
+  (* Arbitrary bytes through the incremental decoder: [next] returns, it
+     never raises — malformation is a value, not an exception. *)
+  QCheck.Test.make ~name:"decoder total on garbage" ~count:300 QCheck.string
+    (fun s ->
+      let dec = Wire.Frame.Decoder.create ~max_frame:4096 () in
+      match feed_chunked dec s 5 with Ok _ | Error _ -> true)
+
 let suite =
   [
     Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "incremental decoder: split boundaries" `Quick
+      test_decoder_split_boundaries;
+    Alcotest.test_case "incremental decoder: truncation at every cut" `Quick
+      test_decoder_truncation;
+    Alcotest.test_case "incremental decoder: oversize and garbage" `Quick
+      test_decoder_oversize_and_garbage;
+    QCheck_alcotest.to_alcotest prop_decoder_chunked_roundtrip;
+    QCheck_alcotest.to_alcotest prop_decoder_garbage_total;
     Alcotest.test_case "composites" `Quick test_composites;
     Alcotest.test_case "adversarial bytes" `Quick test_adversarial;
     Alcotest.test_case "session frames" `Quick test_session_frame;
