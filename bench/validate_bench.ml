@@ -162,10 +162,23 @@ let read_file path =
   close_in ic;
   content
 
-(* Provenance keys Bench_json stamps into every ledger's meta. *)
-let check_provenance meta =
+(* Provenance keys Bench_json stamps into every ledger's meta. A "+dirty"
+   rev means the ledger was generated from an uncommitted tree — legal while
+   iterating, but a committed ledger should come from a clean checkout, so
+   flag it loudly without failing the build. *)
+let check_provenance ~path meta =
   (match List.assoc_opt "git_rev" meta with
-  | Some (Str rev) when rev <> "" -> ()
+  | Some (Str rev) when rev <> "" ->
+      let dirty_suffix = "+dirty" in
+      let dl = String.length dirty_suffix in
+      if
+        String.length rev >= dl
+        && String.sub rev (String.length rev - dl) dl = dirty_suffix
+      then
+        Printf.eprintf
+          "%s: warning: git_rev %S carries +dirty — regenerate this ledger \
+           from a clean tree before committing\n"
+          path rev
   | Some _ -> failwith "meta.git_rev is not a non-empty string"
   | None -> failwith "meta has no \"git_rev\" key");
   (match List.assoc_opt "ocaml_version" meta with
@@ -220,10 +233,15 @@ let check_engine_row i row =
   (match field "sessions_per_s" with
   | Num r when r > 0. -> ()
   | _ -> failwith (Printf.sprintf "rows[%d].sessions_per_s is not positive" i));
-  match field "rss_bytes" with
+  (match field "rss_bytes" with
   | Num b when b >= 0. && Float.is_integer b -> ()
   | _ ->
-      failwith (Printf.sprintf "rows[%d].rss_bytes is not a non-negative integer" i)
+      failwith (Printf.sprintf "rows[%d].rss_bytes is not a non-negative integer" i));
+  (* The allocation column: minor words per session. A ledger without it
+     predates the hot-path overhaul and cannot back the gc gates. *)
+  match field "gc" with
+  | Num g when g >= 0. -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].gc is not a non-negative number" i)
 
 let check_engine_ledger rows =
   let poll_sessions =
@@ -253,7 +271,7 @@ let validate path =
       let experiment =
         match List.assoc_opt "meta" fields with
         | Some (Obj meta) -> (
-            check_provenance meta;
+            check_provenance ~path meta;
             match List.assoc_opt "experiment" meta with
             | Some (Str name) when name <> "" -> name
             | Some _ -> failwith "meta.experiment is not a non-empty string"

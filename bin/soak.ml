@@ -97,6 +97,8 @@ type wave_report = {
   w_sessions : int;
   w_rounds : int;
   w_frames_saved : int;
+  w_frame_bytes : int;
+  w_minor_words : float;  (* minor-heap words allocated running the wave *)
   w_telemetry_bytes : int;  (* 0 on unsampled waves *)
   w_failures : string list;
 }
@@ -201,6 +203,7 @@ let wave ~cfg ~idx =
   let fail fmt =
     Printf.ksprintf (fun msg -> failures := msg :: !failures) fmt
   in
+  let mw0 = Gc.minor_words () in
   match
     match cfg.backend with
     | "poll" -> Engine.run_poll ?telemetry ~n ~t ~corrupt specs
@@ -211,11 +214,14 @@ let wave ~cfg ~idx =
         w_sessions = sessions;
         w_rounds = 0;
         w_frames_saved = 0;
+        w_frame_bytes = 0;
+        w_minor_words = 0.0;
         w_telemetry_bytes = 0;
         w_failures =
           [ Printf.sprintf "%s: raised %s" describe_wave (Printexc.to_string e) ];
       }
   | outcome ->
+      let minor_words = Gc.minor_words () -. mw0 in
       if outcome.Engine.aggregate.Engine.sessions_completed <> sessions then
         fail "%s: %d of %d sessions completed" describe_wave
           outcome.Engine.aggregate.Engine.sessions_completed sessions;
@@ -250,6 +256,8 @@ let wave ~cfg ~idx =
         w_sessions = sessions;
         w_rounds = outcome.Engine.aggregate.Engine.engine_rounds;
         w_frames_saved = outcome.Engine.aggregate.Engine.frames_saved;
+        w_frame_bytes = outcome.Engine.aggregate.Engine.frame_bytes;
+        w_minor_words = minor_words;
         w_telemetry_bytes = telemetry_bytes;
         w_failures = List.rev !failures;
       }
@@ -278,6 +286,11 @@ let () =
   let sampled_waves = ref 0 in
   let failures = ref 0 in
   let rss_breached = ref false in
+  let total_minor_words = ref 0.0 in
+  (* Per wave, minor words per frame byte — allocation normalized by how much
+     traffic the wave actually moved, so random wave sizes cancel out. An
+     engine that leaks allocates more per byte as waves accumulate. *)
+  let alloc_rates = ref [] in
   Printf.printf
     "soak: backend=%s duration=%.0fs seed=%d max-sessions/wave=%d \
      rss-ceiling=%dMB\n\
@@ -292,6 +305,10 @@ let () =
     total_sessions := !total_sessions + r.w_sessions;
     total_rounds := !total_rounds + r.w_rounds;
     total_saved := !total_saved + r.w_frames_saved;
+    total_minor_words := !total_minor_words +. r.w_minor_words;
+    if r.w_frame_bytes > 0 then
+      alloc_rates :=
+        (r.w_minor_words /. float_of_int r.w_frame_bytes) :: !alloc_rates;
     if r.w_telemetry_bytes > 0 then begin
       incr sampled_waves;
       sampled_bytes := !sampled_bytes + r.w_telemetry_bytes
@@ -330,4 +347,37 @@ let () =
     (match Net_poll.rss_peak_bytes () with
     | Some b -> Printf.sprintf "; peak rss %d MB" (b / (1024 * 1024))
     | None -> "");
-  if !failures > 0 || !rss_breached then exit 1
+  Printf.printf "      allocation: %.0f minor words/wave mean\n"
+    (if !waves = 0 then 0.0 else !total_minor_words /. float_of_int !waves);
+  (* Flatness: the allocation rate (minor words per frame byte) must not
+     drift upward across the run — the GC-side analogue of the RSS ceiling.
+     Medians of the two halves; one-sided, because wave counts vary with
+     wall clock and a faster second half is not a leak. *)
+  let flat_ok =
+    let rates = Array.of_list (List.rev !alloc_rates) in
+    let w = Array.length rates in
+    if w < 4 then true
+    else begin
+      let median a =
+        let s = Array.copy a in
+        Array.sort compare s;
+        let m = Array.length s in
+        if m land 1 = 1 then s.(m / 2) else (s.((m / 2) - 1) +. s.(m / 2)) /. 2.0
+      in
+      let first = median (Array.sub rates 0 (w / 2)) in
+      let second = median (Array.sub rates (w / 2) (w - (w / 2))) in
+      Printf.printf
+        "      allocation rate: %.1f -> %.1f words/frame-byte (median, \
+         first/second half)\n"
+        first second;
+      if second > 1.2 *. first then begin
+        Printf.printf
+          "FAIL allocation rate drifted: second-half median %.1f > 1.2x \
+           first-half %.1f words/frame-byte\n"
+          second first;
+        false
+      end
+      else true
+    end
+  in
+  if !failures > 0 || !rss_breached || not flat_ok then exit 1

@@ -34,27 +34,20 @@ let run (spec : 'v Phase_king.spec) (ctx : Ctx.t) ~sender v =
      in
      let received = Option.bind inbox1.(sender) spec.decode in
      (* Round 2: echo. An explicit "nothing" is encoded as option None. *)
-     let encode_opt o = Wire.encode (Wire.w_option Wire.w_bytes (Option.map spec.encode o)) in
+     let encode_opt o = Wire.encode (Phase_king.w_opt_bytes (Option.map spec.encode o)) in
      let decode_opt raw =
-       match Wire.decode_full (Wire.r_option (Wire.r_bytes ())) raw with
+       match Wire.decode_full Phase_king.r_opt_bytes raw with
        | Some (Some payload) -> spec.decode payload
        | Some None | None -> None
      in
-     let tally inbox =
-       let counts = Hashtbl.create 16 in
-       Array.iter
-         (function
-           | None -> ()
-           | Some raw -> (
-               match decode_opt raw with
-               | None -> ()
-               | Some v ->
-                   let key = spec.encode v in
-                   let _, c = Option.value ~default:(v, 0) (Hashtbl.find_opt counts key) in
-                   Hashtbl.replace counts key (v, c + 1)))
-         inbox;
-       Hashtbl.fold (fun _ vc acc -> vc :: acc) counts []
-     in
+     (* Same small-array counting as {!Phase_king.tally} (an inbox holds at
+        most n values; a fresh Hashtbl per call costs more than the tally),
+        composed with the option unwrapping above. First-seen order; the
+        quorum consumer below is order-insensitive (only one value can reach
+        n-t with counts from distinct senders), and the round-3 argmax keeps
+        the first of equal counts either way. *)
+     let echo_spec = { spec with decode = decode_opt } in
+     let tally inbox = Phase_king.tally echo_spec inbox in
      let* inbox2 = Proto.broadcast (encode_opt received) in
      let echoed =
        match List.find_opt (fun (_, c) -> c >= quorum) (tally inbox2) with

@@ -21,62 +21,102 @@ type 'v spec = {
 
 let ( let* ) = Proto.( let* )
 
-(* Tally distinct decoded values in an inbox (at most one per sender).
-   Returns an assoc list keyed by the canonical encoding. *)
+(* Tally distinct decoded values in an inbox (at most one per sender), in
+   first-seen order. Counting runs over one small per-call array rather than
+   a fresh Hashtbl: an inbox holds at most n values, and this is called once
+   or twice per party per phase round — the table's bucket array and
+   per-update boxes dominated the tally's own output. Grouping uses
+   [spec.equal] directly — [spec.encode] is injective, so equality of
+   canonical encodings and [spec.equal] induce the same partition, and
+   skipping the encode drops n string allocations per tally (the encodings
+   were only ever compared, never kept; [argmax] re-derives them lazily on
+   the rare count tie). Every downstream consumer is insensitive to entry
+   order: at most one value can reach any >= t+1 threshold with counts from
+   distinct senders. *)
 let tally spec inbox =
-  let counts = Hashtbl.create 16 in
-  Array.iter
-    (function
-      | None -> ()
-      | Some raw -> (
-          match spec.decode raw with
-          | None -> () (* undecodable byzantine bytes: ignore the sender *)
-          | Some v ->
-              let key = spec.encode v in
-              let _, c = Option.value ~default:(v, 0) (Hashtbl.find_opt counts key) in
-              Hashtbl.replace counts key (v, c + 1)))
-    inbox;
-  Hashtbl.fold (fun key (v, c) acc -> (key, v, c) :: acc) counts []
+  let n = Array.length inbox in
+  let vals = Array.make n None in
+  for i = 0 to n - 1 do
+    match inbox.(i) with
+    | None -> ()
+    | Some raw -> (
+        match spec.decode raw with
+        | None -> () (* undecodable byzantine bytes: ignore the sender *)
+        | Some _ as v -> vals.(i) <- v)
+  done;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match vals.(i) with
+    | None -> ()
+    | Some v ->
+        let first = ref true in
+        for j = 0 to i - 1 do
+          match vals.(j) with
+          | Some w when spec.equal w v -> first := false
+          | Some _ | None -> ()
+        done;
+        if !first then begin
+          let c = ref 0 in
+          for j = i to n - 1 do
+            match vals.(j) with
+            | Some w when spec.equal w v -> incr c
+            | Some _ | None -> ()
+          done;
+          acc := (v, !c) :: !acc
+        end
+  done;
+  !acc
 
 (* Value with the highest count; ties broken by canonical encoding so all
-   honest parties make the same deterministic choice. *)
-let argmax = function
+   honest parties make the same deterministic choice. The encodings are
+   computed only when a tie actually has to be broken. *)
+let argmax spec = function
   | [] -> None
   | entries ->
       Some
         (List.fold_left
-           (fun (bk, bv, bc) (k, v, c) ->
-             if c > bc || (c = bc && String.compare k bk < 0) then (k, v, c)
-             else (bk, bv, bc))
+           (fun (bv, bc) (v, c) ->
+             if
+               c > bc
+               || (c = bc && String.compare (spec.encode v) (spec.encode bv) < 0)
+             then (v, c)
+             else (bv, bc))
            (List.hd entries) (List.tl entries))
+
+(* Hoisted reader and writer: building [r_option (r_bytes ())] (or the
+   writer-side partial application) at the codec site would allocate the
+   combinator closures once per message. *)
+let r_opt_bytes = Wire.r_option (Wire.r_bytes ())
+let w_opt_bytes = Wire.w_option Wire.w_bytes
 
 let run spec (ctx : Ctx.t) input =
   let quorum = Ctx.quorum ctx in
+  (* Proposal codec and voting spec, built once per run — not once per phase
+     (the closures and the record copy are loop-invariant). *)
+  let encode_proposal p = Wire.encode (w_opt_bytes (Option.map spec.encode p)) in
+  let decode_proposal raw =
+    match Wire.decode_full r_opt_bytes raw with
+    | None -> None (* malformed: drop sender *)
+    | Some None -> None (* an explicit "no proposal" carries no vote *)
+    | Some (Some payload) -> spec.decode payload
+  in
+  let vote_spec = { spec with decode = decode_proposal } in
   let rec phase k v =
     if k > ctx.Ctx.t + 1 then Proto.return v
     else
       (* Round 1: universal exchange of current values. *)
       let* inbox1 = Proto.broadcast (spec.encode v) in
       let proposal =
-        match
-          List.find_opt (fun (_, _, c) -> c >= quorum) (tally spec inbox1)
-        with
-        | Some (_, w, _) -> Some w
+        match List.find_opt (fun (_, c) -> c >= quorum) (tally spec inbox1) with
+        | Some (w, _) -> Some w
         | None -> None
       in
       (* Round 2: universal exchange of proposals. *)
-      let encode_proposal p = Wire.encode (Wire.w_option Wire.w_bytes (Option.map spec.encode p)) in
-      let decode_proposal raw =
-        match Wire.decode_full (Wire.r_option (Wire.r_bytes ())) raw with
-        | None -> None (* malformed: drop sender *)
-        | Some None -> None (* an explicit "no proposal" carries no vote *)
-        | Some (Some payload) -> spec.decode payload
-      in
       let* inbox2 = Proto.broadcast (encode_proposal proposal) in
-      let votes = tally { spec with decode = decode_proposal } inbox2 in
+      let votes = tally vote_spec inbox2 in
       let v, locked =
-        match argmax votes with
-        | Some (_, w, c) when c >= ctx.Ctx.t + 1 -> (w, c >= quorum)
+        match argmax spec votes with
+        | Some (w, c) when c >= ctx.Ctx.t + 1 -> (w, c >= quorum)
         | _ -> (v, false)
       in
       (* Round 3: the phase king circulates its value. *)
@@ -122,8 +162,8 @@ let option_spec =
   {
     equal = Option.equal String.equal;
     default = None;
-    encode = (fun v -> Wire.encode (Wire.w_option Wire.w_bytes v));
-    decode = Wire.decode_full (Wire.r_option (Wire.r_bytes ()));
+    encode = (fun v -> Wire.encode (w_opt_bytes v));
+    decode = Wire.decode_full r_opt_bytes;
   }
 
 let run_bit ctx b = run bit_spec ctx b

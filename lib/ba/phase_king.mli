@@ -25,6 +25,21 @@ val run : 'v spec -> Net.Ctx.t -> 'v -> 'v Net.Proto.t
 (** [run spec ctx v] joins Π_BA with input [v]. All honest parties obtain the
     same output, equal to [v] if they all joined with [v]. *)
 
+val r_opt_bytes : string option Wire.reader
+(** The [r_option (r_bytes ())] reader, hoisted: the combinator closures are
+    built once instead of once per decoded message (this decode shape is the
+    hottest in the BA layer — proposals, echoes and votes all use it). *)
+
+val w_opt_bytes : string option -> Wire.writer
+(** Writer-side counterpart of {!r_opt_bytes}, hoisted for the same reason. *)
+
+val tally : 'v spec -> Net.Proto.inbox -> ('v * int) list
+(** Count distinct decoded values in an inbox: [(value, occurrences)] in
+    first-seen order, grouped by [spec.equal] (which agrees with equality of
+    canonical encodings — [encode] is injective). Allocation-lean (one small
+    array, no Hashtbl, no re-encoding) — shared by the gradecast echo
+    counting. *)
+
 val bit_spec : bool spec
 val bytes_spec : string spec
 

@@ -12,31 +12,43 @@ open Net
 
 let ( let* ) = Proto.( let* )
 
-let encode_vote values = Wire.encode (Wire.w_list Wire.w_bytes values)
+(* Hoisted codec halves: building the combinator chains per vote would
+   allocate their closures once per message. *)
+let w_vote = Wire.w_list Wire.w_bytes
+let encode_vote values = Wire.encode (w_vote values)
+let r_vote = Wire.r_list ~max:3 (Wire.r_bytes ())
 
 (* A vote is valid only in canonical form: at most two values, strictly
    ascending. Anything else is a malformed byzantine message, dropped. *)
 let decode_vote raw =
-  match Wire.decode_full (Wire.r_list ~max:3 (Wire.r_bytes ())) raw with
+  match Wire.decode_full r_vote raw with
   | Some ([] as vs) | Some ([ _ ] as vs) -> Some vs
   | Some ([ v1; v2 ] as vs) when String.compare v1 v2 < 0 -> Some vs
   | Some _ | None -> None
 
-(* Values occurring at least [threshold] times in [inbox], ascending. *)
+(* Values occurring at least [threshold] times in [inbox], ascending.
+   Counted over a flat list (at most 2n values: each sender contributes at
+   most two) instead of a per-call Hashtbl — the sorted output makes the
+   counting order irrelevant, and the table allocation dominated these tiny
+   domains. *)
 let values_with_support ~decode ~threshold inbox =
-  let counts = Hashtbl.create 16 in
+  let all = ref [] in
   Array.iter
     (function
       | None -> ()
-      | Some raw ->
-          List.iter
-            (fun v ->
-              Hashtbl.replace counts v
-                (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
-            (decode raw))
+      | Some raw -> List.iter (fun v -> all := v :: !all) (decode raw))
     inbox;
-  Hashtbl.fold (fun v c acc -> if c >= threshold then v :: acc else acc) counts []
-  |> List.sort String.compare
+  let rec distinct_with_quorum acc = function
+    | [] -> acc
+    | v :: rest ->
+        let count =
+          1 + List.fold_left (fun c w -> if String.equal v w then c + 1 else c) 0 rest
+        in
+        let seen = List.exists (fun w -> String.equal v w) acc in
+        if count >= threshold && not seen then distinct_with_quorum (v :: acc) rest
+        else distinct_with_quorum acc rest
+  in
+  List.sort String.compare (distinct_with_quorum [] !all)
 
 let run (ctx : Ctx.t) input =
   let t = ctx.Ctx.t in

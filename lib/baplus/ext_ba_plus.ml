@@ -7,35 +7,49 @@ let encode_tuple ~index ~codeword ~witness =
     encode
       (seq [ w_varint index; w_bytes codeword; w_bytes (Merkle.encode_witness witness) ]))
 
+(* Direct-style decode (hoisted readers, no per-call option-bind closures):
+   one of these runs per harvested share. *)
+let r_bytes_hot = Wire.r_bytes ()
+
 let decode_tuple raw =
   let open Wire in
   decode_full
     (fun cur ->
-      let* index = r_varint cur in
-      let* codeword = r_bytes () cur in
-      let* witness_raw = r_bytes () cur in
-      let* witness = Merkle.decode_witness witness_raw in
-      Some (index, codeword, witness))
+      match r_varint cur with
+      | None -> None
+      | Some index -> (
+          match r_bytes_hot cur with
+          | None -> None
+          | Some codeword -> (
+              match r_bytes_hot cur with
+              | None -> None
+              | Some witness_raw -> (
+                  match Merkle.decode_witness witness_raw with
+                  | None -> None
+                  | Some witness -> Some (index, codeword, witness)))))
     raw
 
 (* Collect verified codewords for root [z_star] from an inbox: at most one
    per index (collision resistance makes duplicates consistent anyway).
    Stores [index -> (codeword, raw_tuple)] so a tuple can be republished
-   verbatim. *)
+   verbatim. A full table short-circuits the walk — indices are bounded by
+   [n], so [n] entries means nothing new can be learned and the per-message
+   decode would be pure waste (this is every matching party in round 3b). *)
 let harvest ~n ~z_star ~into inbox =
-  Array.iter
-    (function
-      | None -> ()
-      | Some raw -> (
-          match decode_tuple raw with
-          | None -> ()
-          | Some (index, codeword, witness) ->
-              if
-                index >= 0 && index < n
-                && (not (Hashtbl.mem into index))
-                && Merkle.verify ~root:z_star ~index ~value:codeword witness
-              then Hashtbl.add into index (codeword, raw)))
-    inbox
+  if Hashtbl.length into < n then
+    Array.iter
+      (function
+        | None -> ()
+        | Some raw -> (
+            match decode_tuple raw with
+            | None -> ()
+            | Some (index, codeword, witness) ->
+                if
+                  index >= 0 && index < n
+                  && (not (Hashtbl.mem into index))
+                  && Merkle.verify ~root:z_star ~index ~value:codeword witness
+                then Hashtbl.add into index (codeword, raw)))
+      inbox
 
 let run (ctx : Ctx.t) input =
   let n = ctx.Ctx.n in
@@ -55,15 +69,24 @@ let run (ctx : Ctx.t) input =
       Proto.with_label "ext_distribute"
         (let mine = String.equal z z_star in
          (* A holder of the committed value already knows every authenticated
-            tuple; everyone else learns its own from round 3a. *)
-         let own_tuple j =
-           encode_tuple ~index:j ~codeword:codewords.(j) ~witness:(Merkle.witness tree j)
+            tuple; everyone else learns its own from round 3a. Matching
+            parties materialize all n tuples once — each is both sent in 3a
+            and kept in [shares] below, and witness + encode per tuple is the
+            expensive half of the round. *)
+         let tuples =
+           if mine then
+             Array.init n (fun j ->
+                 encode_tuple ~index:j ~codeword:codewords.(j)
+                   ~witness:(Merkle.witness tree j))
+           else [||]
          in
          (* Step 3a: matching parties ship codeword j to party j. *)
-         let* inbox_a = Proto.exchange (fun j -> if mine then Some (own_tuple j) else None) in
+         let* inbox_a =
+           Proto.exchange (fun j -> if mine then Some tuples.(j) else None)
+         in
          let shares = Hashtbl.create n in
          if mine then
-           Array.iteri (fun j c -> Hashtbl.add shares j (c, own_tuple j)) codewords
+           Array.iteri (fun j c -> Hashtbl.add shares j (c, tuples.(j))) codewords
          else harvest ~n ~z_star ~into:shares inbox_a;
          (* Step 3b: republish your own verified codeword to everyone. *)
          let republish =
@@ -76,10 +99,15 @@ let run (ctx : Ctx.t) input =
          in
          harvest ~n ~z_star ~into:shares inbox_b;
          (* Step 4: reconstruct from any n−t verified codewords. Lemma 6 makes
-            failure unreachable when Π_BA+ returned non-⊥; stay total anyway. *)
-         let collected =
-           Hashtbl.fold (fun index (codeword, _) acc -> (index, codeword) :: acc) shares []
-         in
-         match Reed_solomon.decode_with codec collected with
-         | Ok value -> Proto.return (Some value)
-         | Error _ -> Proto.return None)
+            failure unreachable when Π_BA+ returned non-⊥; stay total anyway.
+            A matching party skips the reconstruction: its shares are its own
+            complete codeword set, whose decode is the committed input by the
+            Reed-Solomon round-trip identity (differentially tested). *)
+         if mine then Proto.return (Some input)
+         else
+           let collected =
+             Hashtbl.fold (fun index (codeword, _) acc -> (index, codeword) :: acc) shares []
+           in
+           match Reed_solomon.decode_with codec collected with
+           | Ok value -> Proto.return (Some value)
+           | Error _ -> Proto.return None)

@@ -30,8 +30,10 @@ let ( let* ) = Proto.( let* )
 
 let encode_window bits = Wire.encode (Wire.w_bits bits)
 
+let r_window = Wire.r_bits ()
+
 let decode_window ~expect_bits raw =
-  match Wire.decode_full (Wire.r_bits ()) raw with
+  match Wire.decode_full r_window raw with
   | Some bits when Bitstring.length bits = expect_bits -> Some bits
   | Some _ | None -> None
 

@@ -162,15 +162,24 @@ let honest_running ~corrupt states =
   !running
 
 (* The round-driven scheduler, parameterized over the byte transport. Every
-   backend shares this loop; what varies is only how each round's encoded
-   frame matrix reaches the recipients ({!Net.Transport.exchange}). The
-   loopback transport hands the pre-decoded entries straight back (the
-   simulator); the poll transport pushes the bytes through a nonblocking
-   socket mesh and decodes what arrives. Because the frames the engine
-   encodes are a pure function of the sessions' traffic, and delivery
-   consumes only frame contents plus the local self slot, every transport
-   that moves the frames faithfully yields bit-identical outputs, metrics,
-   ledger and telemetry. *)
+   backend shares this loop; what varies is only how each round's coalesced
+   entries reach the recipients ({!Net.Transport.exchange}). The loopback
+   transport is the identity on entries (the simulator); the poll transport
+   encodes each pair's frame into its own buffers, pushes the bytes through a
+   nonblocking socket mesh and decodes what arrives. Because the entries are
+   a pure function of the sessions' traffic, and delivery consumes only
+   entry contents plus the local self slot, every transport that moves the
+   frames faithfully yields bit-identical outputs, metrics, ledger and
+   telemetry.
+
+   Steady-state rounds allocate O(live sessions), not O(engine state): the
+   live set, the per-slot step captures, the bundle matrix and (for wire
+   transports) the delivery index are all preallocated at session capacity
+   and reused every round. With a [direct] transport the engine additionally
+   fuses each session's send and delivery into a single parallel phase — one
+   pool barrier per engine round — which is bit-identical to the split
+   schedule because sessions only ever read their own round matrix (see the
+   delivery derivation below). *)
 let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
     ~transport ~n ~t ~corrupt specs =
   if Array.length corrupt <> n then invalid_arg "Engine: corrupt array size";
@@ -183,13 +192,72 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
      recorder after the run (see [Telemetry.merge]). *)
   let shards = ref [] in
   let pending = ref (admission_order specs) in
-  let live = ref [] in
   let finished = ref [] in
   let er = ref 0 in
   let frames_sent = ref 0 in
   let naive_frames = ref 0 in
   let frame_bytes = ref 0 in
   let payload_bytes = ref 0 in
+  let cap = List.length specs in
+  (* The live set, slot-indexed in admission order; retirement compacts in
+     place (stable), so iterating slots 0 .. k_live-1 always visits sessions
+     in admission order — the order every sequential replay below relies on. *)
+  let live_arr : 'a live option array = Array.make cap None in
+  let k_live = ref 0 in
+  let live li = match live_arr.(li) with Some l -> l | None -> assert false in
+  (* Per-round structures, preallocated at session capacity and reused every
+     round: the per-slot step captures, the coalesced bundle matrix, and —
+     for wire transports — the per-edge delivery index [edge_slots.(s).(r)]
+     plus the sid -> slot map that fills it. Steady-state rounds allocate
+     only protocol-level transients (payload strings, continuation spines),
+     never per-engine-state structures and never the per-session matrices:
+     the prescribed matrix, the byzantine override rows, the delivered inbox
+     arrays and the label snapshot are all slot-indexed scratch, allocated
+     lazily on a slot's first use and overwritten in full every round. The
+     scratch carries no cross-round state, so slot compaction after
+     retirement can hand a slot's scratch to a different session untouched.
+
+     Borrowed-buffer contract (see DESIGN.md, "Hot path & allocation
+     discipline"): the inbox array passed to a protocol continuation and the
+     [Adversary.view] prescribed matrix are owned by the engine and valid
+     only until the continuation / the round's last [act] call returns.
+     Retaining the *option values* (immutable boxes and payload strings) is
+     fine; retaining the *arrays* is not. Every protocol in lib/ consumes
+     its inbox strictly before constructing its next [Step], and every
+     adversary reads [view] only inside [act]. *)
+  let stepped : string option array array array = Array.make cap [||] in
+  let prescribed_mats : string option array array array = Array.make cap [||] in
+  let actual_rows : string option array array array = Array.make cap [||] in
+  (* Byzantine override rows: only touched when the corruption set is
+     non-empty, so honest runs never allocate them. *)
+  let byz_mats : string option array array array = Array.make cap [||] in
+  let inbox_scratch : string option array array array = Array.make cap [||] in
+  let send_labels : string option array array = Array.make cap [||] in
+  let naive = Array.make cap 0 in
+  let bundles : Transport.bundles = Array.make_matrix n n [] in
+  (* Direct transports never materialize the per-edge entry lists — the
+     frame ledger is computed arithmetically from these per-edge counters
+     instead (entry count, header bytes, payload bytes), which drops the
+     per-message cons+tuple of the bundle build from the loopback hot path.
+     Wire transports still build [bundles]: the bytes have to move. *)
+  let edge_cnt = Array.make_matrix n n 0 in
+  let edge_hdr = Array.make_matrix n n 0 in
+  let edge_psz = Array.make_matrix n n 0 in
+  let edge_slots : string option array array array =
+    if transport.Transport.direct then [||]
+    else Array.init n (fun _ -> Array.init n (fun _ -> Array.make cap None))
+  in
+  let sid_slot : (int, int) Hashtbl.t = Hashtbl.create (2 * cap) in
+  let sid_slot_stale = ref true in
+  let refresh_sid_slot () =
+    if !sid_slot_stale then begin
+      Hashtbl.reset sid_slot;
+      for li = 0 to !k_live - 1 do
+        Hashtbl.replace sid_slot (live li).l_sid li
+      done;
+      sid_slot_stale := false
+    end
+  in
   let retire l =
     (match l.l_telemetry with
     | Some tm ->
@@ -212,7 +280,7 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
         } )
       :: !finished
   in
-  while !pending <> [] || !live <> [] do
+  while !pending <> [] || !k_live > 0 do
     if !er >= max_rounds then raise (Round_limit_exceeded max_rounds);
     (* 0. Admit sessions whose start round has arrived. *)
     let now, later =
@@ -256,67 +324,84 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
             l_telemetry = session_telemetry;
           }
         in
-        if honest_running ~corrupt states then live := !live @ [ l ]
+        if honest_running ~corrupt states then begin
+          live_arr.(!k_live) <- Some l;
+          incr k_live;
+          sid_slot_stale := true
+        end
         else retire l)
       now;
     (match telemetry with
-    | Some tm -> Telemetry.live_sessions tm ~round:!er ~live:(List.length !live)
+    | Some tm -> Telemetry.live_sessions tm ~round:!er ~live:!k_live
     | None -> ());
-    (* Per ordered pair, the entries of this round's coalesced frame, in
-       admission order (matching the unix backend's frame contents). *)
-    let bundles = Array.init n (fun _ -> Array.make n []) in
     (* 1–4. Send phase: every live session computes one of its own rounds'
        message matrix, exactly as Sim.run would — adversary PRNG order,
-       byzantine truncation and metrics accounting included. Delivery waits
-       until the transport has moved the round's frames. Sessions are
+       byzantine truncation and metrics accounting included. Sessions are
        independent within an engine round — each touches only its own
        states, labels, metrics, adversary PRNG and telemetry recorder — so
-       this phase shards across the pool; everything that writes shared
-       state (trace, bundles, naive-frame counter) is deferred to the
-       sequential pass below, replayed in admission order from the sends
-       each session captured, so every byte and every event order matches
-       the [domains:1] run. *)
-    let live_arr = Array.of_list !live in
-    let k_live = Array.length live_arr in
-    (* Per session, filled by its own step: the round's actual message
-       matrix and each sender's innermost label at send time (read before
-       delivery mutates the label stacks). *)
-    let stepped = Array.make k_live [||] in
-    let send_labels = Array.make k_live [||] in
-    let naive = Array.make k_live 0 in
+       this phase shards across the pool in chunks of consecutive slots;
+       everything that writes shared state (trace, bundles, naive-frame
+       counter) is deferred to the sequential pass below, replayed in
+       admission order from the sends each session captured, so every byte
+       and every event order matches the [domains:1] run. *)
+    let k_now = !k_live in
     let round_now = !er in
     let step li =
-      let l = live_arr.(li) in
+      let l = live li in
       let metrics = l.l_metrics in
       metrics.Metrics.rounds <- metrics.Metrics.rounds + 1;
       let states = l.l_states in
-      let prescribed =
-        Array.map
-          (fun s ->
-            match s with
-            | Proto.Step (out, _) -> Array.init n out
-            | Proto.Done _ -> Array.make n None
-            | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false)
-          states
-      in
-      let view =
-        { Adversary.round = metrics.Metrics.rounds; n; t; corrupt; prescribed }
-      in
-      let actual =
-        Array.init n (fun s ->
-            if not corrupt.(s) then prescribed.(s)
-            else
-              Array.init n (fun r ->
-                  match l.l_adversary.Adversary.act view ~sender:s ~recipient:r with
-                  | Some m when String.length m > Sim.max_byzantine_bytes ->
-                      Some (String.sub m 0 Sim.max_byzantine_bytes)
-                  | other -> other))
-      in
-      let labels_now =
-        Array.map
-          (function [] -> None | lb :: _ -> Some lb)
-          l.l_labels
-      in
+      if prescribed_mats.(li) == [||] then begin
+        prescribed_mats.(li) <- Array.make_matrix n n None;
+        actual_rows.(li) <- Array.make n [||];
+        send_labels.(li) <- Array.make n None
+      end;
+      let prescribed = prescribed_mats.(li) in
+      for i = 0 to n - 1 do
+        match states.(i) with
+        | Proto.Step (out, _) ->
+            let row = prescribed.(i) in
+            for r = 0 to n - 1 do
+              row.(r) <- out r
+            done
+        | Proto.Done _ -> Array.fill prescribed.(i) 0 n None
+        | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
+      done;
+      (* Honest rows of [actual] alias the prescribed matrix (both are
+         consumed read-only within this round); corrupt rows go through the
+         per-slot byzantine scratch so the adversary's view of every
+         prescribed row stays intact while overrides are computed. *)
+      let actual = actual_rows.(li) in
+      if n_corrupt = 0 then Array.blit prescribed 0 actual 0 n
+      else begin
+        let view =
+          { Adversary.round = metrics.Metrics.rounds; n; t; corrupt; prescribed }
+        in
+        if byz_mats.(li) == [||] then byz_mats.(li) <- Array.make_matrix n n None;
+        let byz = byz_mats.(li) in
+        for s = 0 to n - 1 do
+          if not corrupt.(s) then actual.(s) <- prescribed.(s)
+          else begin
+            let row = byz.(s) in
+            for r = 0 to n - 1 do
+              row.(r) <-
+                (match l.l_adversary.Adversary.act view ~sender:s ~recipient:r with
+                | Some m when String.length m > Sim.max_byzantine_bytes ->
+                    Some (String.sub m 0 Sim.max_byzantine_bytes)
+                | other -> other)
+            done;
+            actual.(s) <- row
+          end
+        done
+      end;
+      let labels_now = send_labels.(li) in
+      for i = 0 to n - 1 do
+        match (l.l_labels.(i), labels_now.(i)) with
+        | [], None -> ()
+        | lb :: _, Some prev when prev == lb -> ()
+        | [], Some _ -> labels_now.(i) <- None
+        | lb :: _, _ -> labels_now.(i) <- Some lb
+      done;
       (* Accounting: per-session metrics see raw payloads (self free). *)
       for s = 0 to n - 1 do
         for r = 0 to n - 1 do
@@ -340,97 +425,42 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
       (* A frame-per-session transport would send one frame per peer from
          every party whose instance is still stepping (counted before
          delivery advances the states). *)
+      naive.(li) <- 0;
       Array.iter
         (function Proto.Step _ -> naive.(li) <- naive.(li) + (n - 1) | _ -> ())
         states;
-      stepped.(li) <- actual;
-      send_labels.(li) <- labels_now
+      stepped.(li) <- actual
     in
-    (match pool with
-    | Some pool -> Pool.parallel_for ~domains pool ~n:k_live step
-    | None ->
-        for li = 0 to k_live - 1 do
-          step li
-        done);
-    (* Sequential replay of the shared-state effects, in admission order. *)
-    Array.iteri
-      (fun li l ->
-        let actual = stepped.(li) in
-        for s = 0 to n - 1 do
-          for r = 0 to n - 1 do
-            if s <> r then
-              match actual.(s).(r) with
-              | None -> ()
-              | Some m ->
-                  bundles.(s).(r) <- (l.l_sid, m) :: bundles.(s).(r);
-                  (match trace with
-                  | Some tr ->
-                      Trace.record tr
-                        {
-                          Trace.round = l.l_metrics.Metrics.rounds;
-                          src = s;
-                          dst = r;
-                          bytes = String.length m;
-                          byzantine = corrupt.(s);
-                          label = send_labels.(li).(s);
-                          session = l.l_sid;
-                        }
-                  | None -> ())
-          done
-        done;
-        naive_frames := !naive_frames + naive.(li))
-      live_arr;
-    (* 5. Encode one coalesced frame per ordered pair (keep-alive empties
-       included), account the ledger, and move the round's bytes through the
-       transport. [delivered.(s).(r)] comes back in admission order — from
-       the loopback transport it {e is} [entries.(s).(r)]; from a socket
-       transport it is what the wire-decoded frame carried, which must agree
-       byte for byte. *)
-    let frames = Array.make_matrix n n "" in
-    let entries = Array.make_matrix n n [] in
-    for s = 0 to n - 1 do
-      for r = 0 to n - 1 do
-        if s <> r then begin
-          let es = List.rev bundles.(s).(r) in
-          let body = Wire.Frame.encode { Wire.Frame.round = !er; entries = es } in
-          entries.(s).(r) <- es;
-          frames.(s).(r) <- body;
-          incr frames_sent;
-          frame_bytes := !frame_bytes + String.length body;
-          List.iter
-            (fun (_, m) -> payload_bytes := !payload_bytes + String.length m)
-            es
-        end
-      done
-    done;
-    let delivered = transport.Transport.exchange ~round:!er ~frames ~entries in
-    (* Per-edge delivery index, built once on the calling domain and only
-       read inside the parallel deliver phase. *)
-    let tables =
-      Array.init n (fun s ->
-          Array.init n (fun r ->
-              let tbl = Hashtbl.create 16 in
-              List.iter
-                (fun (sid, m) -> Hashtbl.replace tbl sid m)
-                delivered.(s).(r);
-              tbl))
+    (* 6. Deliver and advance a live session — the other half of the Sim.run
+       round body, parallel for the same reason the send phase is: a session
+       touches only its own states, labels and telemetry recorder, and reads
+       shared structures no one writes concurrently. With a direct transport
+       the inbox comes straight from the session's own round matrix:
+       [actual.(s).(i)] for [s <> i] is [Some m] exactly when the round's
+       entries carried [(sid, m)] on edge [s -> i], which is what the
+       per-edge index would answer for this sid — so fusing step and deliver
+       into one phase (below) is observationally identical to the split
+       schedule. With a wire transport the inbox reads the slot-indexed
+       delivery index filled from the decoded entries. *)
+    (* The inbox handed to a continuation is per-(slot, party) scratch,
+       refilled here every round — borrowed by the protocol for the duration
+       of the continuation (the contract documented above and in proto.mli). *)
+    let inbox_for li i =
+      if inbox_scratch.(li) == [||] then
+        inbox_scratch.(li) <- Array.init n (fun _ -> Array.make n None);
+      inbox_scratch.(li).(i)
     in
-    (* 6. Deliver and advance every live session — the other half of the
-       Sim.run round body, parallel for the same reason the send phase is:
-       a session touches only its own states, labels and telemetry recorder,
-       and reads the shared tables. *)
-    let deliver li =
-      let l = live_arr.(li) in
+    let deliver_direct li =
+      let l = live li in
       let actual = stepped.(li) in
       let states = l.l_states in
       for i = 0 to n - 1 do
         match states.(i) with
         | Proto.Step (_, k) ->
-            let inbox =
-              Array.init n (fun s ->
-                  if s = i then actual.(i).(i)
-                  else Hashtbl.find_opt tables.(s).(i) l.l_sid)
-            in
+            let inbox = inbox_for li i in
+            for s = 0 to n - 1 do
+              inbox.(s) <- actual.(s).(i)
+            done;
             states.(i) <-
               settle ~telemetry:l.l_telemetry ~corrupt ~sid:l.l_sid
                 ~round:l.l_metrics.Metrics.rounds l.l_labels i (k inbox)
@@ -438,22 +468,219 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
         | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
       done
     in
-    (match pool with
-    | Some pool -> Pool.parallel_for ~domains pool ~n:k_live deliver
-    | None ->
-        for li = 0 to k_live - 1 do
-          deliver li
+    let deliver_wire li =
+      let l = live li in
+      let actual = stepped.(li) in
+      let states = l.l_states in
+      for i = 0 to n - 1 do
+        match states.(i) with
+        | Proto.Step (_, k) ->
+            let inbox = inbox_for li i in
+            for s = 0 to n - 1 do
+              inbox.(s) <-
+                (if s = i then actual.(i).(i) else edge_slots.(s).(i).(li))
+            done;
+            states.(i) <-
+              settle ~telemetry:l.l_telemetry ~corrupt ~sid:l.l_sid
+                ~round:l.l_metrics.Metrics.rounds l.l_labels i (k inbox)
+        | Proto.Done _ -> ()
+        | Proto.Push _ | Proto.Pop _ | Proto.Probe _ -> assert false
+      done
+    in
+    let run_phase body =
+      match pool with
+      | Some pool ->
+          (* Chunked claims: a few shards per domain amortizes the atomic
+             counter while leaving enough shards to steal. *)
+          let chunk = max 1 (k_now / (domains * 4)) in
+          Pool.for_chunks ~domains pool ~chunk ~n:k_now body
+      | None ->
+          for li = 0 to k_now - 1 do
+            body li
+          done
+    in
+    if transport.Transport.direct then
+      (* Fused round: one parallel phase, one barrier. *)
+      run_phase (fun li ->
+          step li;
+          deliver_direct li)
+    else run_phase step;
+    (* Sequential replay of the shared-state effects, in admission order.
+       Bundle lists are built admission-ordered directly by prepending in
+       reverse slot order (the old build-reversed-then-[List.rev] allocated
+       a second list per edge per round). Direct transports only tally the
+       per-edge counters — nothing consumes entry lists on that path. *)
+    (if transport.Transport.direct then begin
+       for s = 0 to n - 1 do
+         for r = 0 to n - 1 do
+           edge_cnt.(s).(r) <- 0;
+           edge_hdr.(s).(r) <- 0;
+           edge_psz.(s).(r) <- 0
+         done
+       done;
+       for li = k_now - 1 downto 0 do
+         let l = live li in
+         let actual = stepped.(li) in
+         for s = 0 to n - 1 do
+           for r = 0 to n - 1 do
+             if s <> r then
+               match actual.(s).(r) with
+               | None -> ()
+               | Some m ->
+                   let len = String.length m in
+                   edge_cnt.(s).(r) <- edge_cnt.(s).(r) + 1;
+                   edge_hdr.(s).(r) <-
+                     edge_hdr.(s).(r) + Wire.varint_size l.l_sid
+                     + Wire.varint_size len;
+                   edge_psz.(s).(r) <- edge_psz.(s).(r) + len
+           done
+         done;
+         naive_frames := !naive_frames + naive.(li)
+       done
+     end
+     else begin
+       for s = 0 to n - 1 do
+         for r = 0 to n - 1 do
+           bundles.(s).(r) <- []
+         done
+       done;
+       for li = k_now - 1 downto 0 do
+         let l = live li in
+         let actual = stepped.(li) in
+         for s = 0 to n - 1 do
+           for r = 0 to n - 1 do
+             if s <> r then
+               match actual.(s).(r) with
+               | None -> ()
+               | Some m -> bundles.(s).(r) <- (l.l_sid, m) :: bundles.(s).(r)
+           done
+         done;
+         naive_frames := !naive_frames + naive.(li)
+       done
+     end);
+    (match trace with
+    | None -> ()
+    | Some tr ->
+        for li = 0 to k_now - 1 do
+          let l = live li in
+          let actual = stepped.(li) in
+          for s = 0 to n - 1 do
+            for r = 0 to n - 1 do
+              if s <> r then
+                match actual.(s).(r) with
+                | None -> ()
+                | Some m ->
+                    Trace.record tr
+                      {
+                        Trace.round = l.l_metrics.Metrics.rounds;
+                        src = s;
+                        dst = r;
+                        bytes = String.length m;
+                        byzantine = corrupt.(s);
+                        label = send_labels.(li).(s);
+                        session = l.l_sid;
+                      }
+            done
+          done
         done);
-    (* 7. Retire sessions whose honest parties have all terminated. *)
-    live :=
-      List.filter
-        (fun l ->
-          if honest_running ~corrupt l.l_states then true
-          else begin
-            retire l;
-            false
-          end)
-        !live;
+    (* 5. Account one coalesced frame per ordered pair (keep-alive empties
+       included). On the wire path this reads straight off the entry lists —
+       {!Wire.Frame.encoded_size} is differentially tested to equal the
+       encoding's length, so the ledger matches the old encode-then-measure
+       byte for byte without the engine ever materializing a frame. On the
+       direct path the same sum comes from the per-edge counters: a frame is
+       varint round + varint count + per entry (varint sid + varint len +
+       payload), exactly the header/payload bytes accumulated above. *)
+    if transport.Transport.direct then
+      for s = 0 to n - 1 do
+        for r = 0 to n - 1 do
+          if s <> r then begin
+            incr frames_sent;
+            frame_bytes :=
+              !frame_bytes + Wire.varint_size round_now
+              + Wire.varint_size edge_cnt.(s).(r)
+              + edge_hdr.(s).(r) + edge_psz.(s).(r);
+            payload_bytes := !payload_bytes + edge_psz.(s).(r)
+          end
+        done
+      done
+    else
+      for s = 0 to n - 1 do
+        for r = 0 to n - 1 do
+          if s <> r then begin
+            let es = bundles.(s).(r) in
+            incr frames_sent;
+            frame_bytes :=
+              !frame_bytes
+              + Wire.Frame.encoded_size { Wire.Frame.round = round_now; entries = es };
+            List.iter
+              (fun (_, m) -> payload_bytes := !payload_bytes + String.length m)
+              es
+          end
+        done
+      done;
+    if transport.Transport.direct then
+      (* Delivery already happened in the fused phase; the exchange is the
+         identity, called so the transport still observes every round. *)
+      ignore (transport.Transport.exchange ~round:round_now ~entries:bundles)
+    else begin
+      (* Move the round's bytes. [delivered.(s).(r)] comes back in admission
+         order — what the wire-decoded frame carried, which must agree byte
+         for byte with [bundles.(s).(r)]. The returned matrix is borrowed:
+         consumed (index filled, delivery run, index cleared) before the
+         next exchange. *)
+      let delivered =
+        transport.Transport.exchange ~round:round_now ~entries:bundles
+      in
+      refresh_sid_slot ();
+      (* [Hashtbl.find] + [Not_found]: the lookup hits for every live
+         session's message, and [find_opt]'s [Some] box per message is pure
+         allocation on the hot path (misses — messages for already-retired
+         sids — are the rare case). *)
+      for s = 0 to n - 1 do
+        for r = 0 to n - 1 do
+          if s <> r then
+            List.iter
+              (fun (sid, m) ->
+                match Hashtbl.find sid_slot sid with
+                | li -> edge_slots.(s).(r).(li) <- Some m
+                | exception Not_found -> ())
+              delivered.(s).(r)
+        done
+      done;
+      run_phase deliver_wire;
+      (* Clear only the slots this round touched, by re-walking the
+         delivered lists — O(messages), not O(capacity). *)
+      for s = 0 to n - 1 do
+        for r = 0 to n - 1 do
+          if s <> r then
+            List.iter
+              (fun (sid, _) ->
+                match Hashtbl.find sid_slot sid with
+                | li -> edge_slots.(s).(r).(li) <- None
+                | exception Not_found -> ())
+              delivered.(s).(r)
+        done
+      done
+    end;
+    (* 7. Retire sessions whose honest parties have all terminated; stable
+       in-place compaction keeps slot order = admission order. *)
+    let w = ref 0 in
+    for li = 0 to !k_live - 1 do
+      let l = live li in
+      if honest_running ~corrupt l.l_states then begin
+        if !w <> li then live_arr.(!w) <- live_arr.(li);
+        incr w
+      end
+      else begin
+        retire l;
+        sid_slot_stale := true
+      end
+    done;
+    for li = !w to !k_live - 1 do
+      live_arr.(li) <- None
+    done;
+    k_live := !w;
     incr er
   done;
   (* Fold the per-session telemetry shards back into the caller's recorder,

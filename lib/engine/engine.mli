@@ -97,13 +97,19 @@ val run_core :
 (** The round-driven scheduler behind {!run_sim} and {!run_poll},
     parameterized over the byte transport. Each engine round the core
     computes every live session's sends (the simulator semantics, adversary
-    PRNG order included), encodes one coalesced {!Wire.Frame} per ordered
-    pair, hands the full frame matrix to {!Net.Transport.exchange}, and
-    delivers from what came back. Any transport that moves the frames
+    PRNG order included), coalesces them into one entry list per ordered
+    pair, accounts the frame bytes via {!Wire.Frame.encoded_size}, hands the
+    entry matrix to {!Net.Transport.exchange}, and delivers from what came
+    back. A [direct] transport (the loopback) additionally licenses the
+    fused schedule: send and delivery run as one parallel phase — a single
+    pool barrier per engine round. Any transport that moves the frames
     faithfully yields bit-identical outputs, per-session metrics, aggregate
     ledger and telemetry — the property the cross-backend tests pin down.
-    Raises like {!run_sim}; transport failures propagate as the transport's
-    own exceptions. *)
+    Every per-round structure (live set, step captures, bundle matrix,
+    delivery index) is preallocated at session capacity and reused, so
+    steady-state rounds allocate only per-session transients. Raises like
+    {!run_sim}; transport failures propagate as the transport's own
+    exceptions. *)
 
 val run_sim :
   ?max_rounds:int ->

@@ -23,6 +23,12 @@ type tree = {
 
 let empty_leaf = Sha256.digest "\x02"
 
+(* Per-domain hashing context for [build]: a tree is built once per party
+   per Π_ℓBA+ invocation, and the context (message schedule + block buffer)
+   was the build's largest single allocation. [build] never calls out to
+   user code, so domain-local reuse is safe. *)
+let build_ctx : Sha256.ctx Domain.DLS.key = Domain.DLS.new_key Sha256.init
+
 let next_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
   go 1
@@ -36,7 +42,8 @@ let build values =
     go 0 padded
   in
   let levels = Array.init (depth + 1) (fun l -> Bytes.create ((padded lsr l) * dsize)) in
-  let ctx = Sha256.init () in
+  let ctx = Domain.DLS.get build_ctx in
+  Sha256.reset ctx;
   let level0 = levels.(0) in
   for i = 0 to leaves - 1 do
     Sha256.reset ctx;
@@ -71,12 +78,19 @@ let witness t i =
   in
   { path = go 0 i [] }
 
+(* Per-domain verification scratch: a verify runs once per harvested share
+   on the Π_ℓBA+ hot path, and the fresh context + digest buffer were most
+   of its allocation. [verify] never calls out to user code, so plain
+   domain-local reuse is safe (no re-entrancy to guard against). *)
+let verify_scratch : (Sha256.ctx * Bytes.t) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (Sha256.init (), Bytes.create dsize))
+
 let verify ~root ~index ~value w =
   if index < 0 then false
   else begin
     (* One context and one scratch digest, reused up the path. *)
-    let ctx = Sha256.init () in
-    let h = Bytes.create dsize in
+    let ctx, h = Domain.DLS.get verify_scratch in
+    Sha256.reset ctx;
     Sha256.feed_byte ctx 0x00;
     Sha256.feed ctx value;
     Sha256.finalize_into ctx h ~pos:0;

@@ -39,13 +39,16 @@ let is_empty m =
   && m.byz_msgs = 0
   && Hashtbl.length m.by_label = 0
 
+(* [Hashtbl.find] + [Not_found] rather than [find_opt]: this runs once per
+   honest message, the lookup hits on all but a label's first message, and
+   [find_opt]'s [Some] box is pure allocation on that path. *)
 let record_honest m ~label ~bytes =
   let bits = 8 * bytes in
   m.honest_bits <- m.honest_bits + bits;
   m.honest_msgs <- m.honest_msgs + 1;
   let label = match label with Some l -> l | None -> no_label in
-  Hashtbl.replace m.by_label label
-    (bits + Option.value ~default:0 (Hashtbl.find_opt m.by_label label))
+  let prior = match Hashtbl.find m.by_label label with b -> b | exception Not_found -> 0 in
+  Hashtbl.replace m.by_label label (bits + prior)
 
 let record_byzantine m ~bytes =
   m.byz_bits <- m.byz_bits + (8 * bytes);

@@ -48,8 +48,12 @@ let ( let+ ) = map
     recipient [r]. *)
 let exchange out = Step (out, fun inbox -> Done inbox)
 
-(** One round in which the same message goes to every party. *)
-let broadcast msg = exchange (fun _ -> Some msg)
+(** One round in which the same message goes to every party. The [Some] box
+    is shared across recipients — the out function runs once per recipient
+    per round, so a per-call box would cost n allocations per broadcast. *)
+let broadcast msg =
+  let m = Some msg in
+  exchange (fun _ -> m)
 
 (** One round in which this party sends nothing but still receives. *)
 let receive_only () = exchange (fun _ -> None)
@@ -84,11 +88,13 @@ let encode_mux slots =
       (Wire.encode
          (Wire.w_list (Wire.w_option Wire.w_bytes) (Array.to_list slots)))
 
+let r_mux_slot = Wire.r_option (Wire.r_bytes ())
+
 let decode_mux ~branches raw =
   match raw with
   | None -> Array.make branches None
   | Some raw -> (
-      match Wire.decode_full (Wire.r_list ~max:branches (Wire.r_option (Wire.r_bytes ()))) raw with
+      match Wire.decode_full (Wire.r_list ~max:branches r_mux_slot) raw with
       | Some slots when List.length slots = branches -> Array.of_list slots
       | Some _ | None -> Array.make branches None)
 

@@ -19,7 +19,15 @@
 type inbox = string option array
 (** [inbox.(s)]: the message received from party [s] this round ([None] if
     [s] sent nothing). Senders are authenticated by construction — slot [s]
-    only ever holds [s]'s message, the paper's authenticated channels. *)
+    only ever holds [s]'s message, the paper's authenticated channels.
+
+    Ownership: the array is {e borrowed} from the runtime — engines reuse it
+    across rounds, so a continuation must consume it (or copy what it needs)
+    before returning its next [Step]; only the payload strings and option
+    boxes, which are immutable, may be retained. Every combinator-built
+    protocol satisfies this automatically because OCaml evaluates the
+    continuation body strictly up to the next round. See DESIGN.md, "Hot
+    path & allocation discipline". *)
 
 type 'a t =
   | Done of 'a

@@ -2,13 +2,15 @@ type bundles = (int * string) list array array
 
 type t = {
   name : string;
-  exchange : round:int -> frames:string array array -> entries:bundles -> bundles;
+  direct : bool;
+  exchange : round:int -> entries:bundles -> bundles;
   close : unit -> unit;
 }
 
 let loopback () =
   {
     name = "loopback";
-    exchange = (fun ~round:_ ~frames:_ ~entries -> entries);
+    direct = true;
+    exchange = (fun ~round:_ ~entries -> entries);
     close = ignore;
   }

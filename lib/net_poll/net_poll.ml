@@ -6,7 +6,17 @@
    Wire format per direction: u32 big-endian body length, then the encoded
    Wire.Frame — the same stream Net_unix.run_sessions speaks, decoded here
    incrementally by Wire.Frame.Decoder so a frame split across any number of
-   partial reads reassembles without ever blocking the loop. *)
+   partial reads reassembles without ever blocking the loop.
+
+   Allocation discipline: the steady-state byte path reuses per-connection
+   buffers end to end. Outbound, each connection owns a grow-only scratch
+   [c_out] holding the round's prefixed frame — the entries path encodes
+   into it in place (Wire.Frame.encode_into), no frame string or prefix
+   concatenation exists. Inbound, reads land in one shared scratch and are
+   fed to the decoder by offset (feed_sub), never via an intermediate
+   sub-string. The delivered matrix handed to the engine is reused across
+   exchanges (the Transport contract marks it borrowed). What remains per
+   round is the decoded entry payloads themselves — the data. *)
 
 type stats = {
   p_rounds : int;
@@ -18,6 +28,8 @@ type stats = {
   p_polls : int;
   p_parked : int;
   p_max_backlog : int;
+  p_frames_encoded_in_place : int;
+  p_minor_words_per_round : float;
 }
 
 (* ---- bounded byte ring ---------------------------------------------------- *)
@@ -34,14 +46,15 @@ module Ring = struct
   let length r = r.len
   let free r = capacity r - r.len
 
-  (* Copy as much of [src.[off..]] as fits; returns the bytes taken. *)
-  let push r src off =
+  (* Copy as much of [src.[off .. off+avail-1]] as fits; returns the bytes
+     taken. *)
+  let push r src off avail =
     let cap = capacity r in
-    let take = min (String.length src - off) (free r) in
+    let take = min avail (free r) in
     let tail = (r.head + r.len) mod cap in
     let first = min take (cap - tail) in
-    Bytes.blit_string src off r.buf tail first;
-    if take > first then Bytes.blit_string src (off + first) r.buf 0 (take - first);
+    Bytes.blit src off r.buf tail first;
+    if take > first then Bytes.blit src (off + first) r.buf 0 (take - first);
     r.len <- r.len + take;
     take
 
@@ -71,8 +84,11 @@ type conn = {
   c_rfd : Unix.file_descr;  (* dst's endpoint: this direction reads here *)
   c_ring : Ring.t;
   c_dec : Wire.Frame.Decoder.t;
-  mutable c_frame : string;  (* prefixed bytes of the round's outbound frame *)
-  mutable c_off : int;  (* bytes of [c_frame] already admitted to the ring *)
+  mutable c_out : Bytes.t;
+      (* Reusable outbound scratch: the round's u32-prefixed frame lives in
+         [c_out.[0 .. c_out_len-1]]. Grow-only. *)
+  mutable c_out_len : int;
+  mutable c_off : int;  (* bytes of [c_out] already admitted to the ring *)
   mutable c_rcvd : (int * string) list option;  (* decoded inbound entries *)
 }
 
@@ -81,6 +97,9 @@ type t = {
   conns : conn array;  (* every ordered pair, src-major *)
   pair_fds : Unix.file_descr list;  (* each endpoint once, for close *)
   scratch : Bytes.t;
+  recv : (int * string) list array array;
+      (* Delivered-entries matrix handed to the engine, reused across
+         exchanges (borrowed per the Transport contract). *)
   mutable closed : bool;
   mutable s_rounds : int;
   mutable s_frames : int;
@@ -91,6 +110,8 @@ type t = {
   mutable s_polls : int;
   mutable s_parked : int;
   mutable s_max_backlog : int;
+  mutable s_in_place : int;
+  mutable s_minor_words : float;
 }
 
 let stall_timeout = 30.0
@@ -131,7 +152,8 @@ let create ?(outbuf = 64 * 1024) ?(max_frame = Wire.Frame.max_frame_bytes) ~n ()
             c_rfd = endpoints.(dst).(src);
             c_ring = Ring.create outbuf;
             c_dec = Wire.Frame.Decoder.create ~max_frame ();
-            c_frame = "";
+            c_out = Bytes.create 256;
+            c_out_len = 0;
             c_off = 0;
             c_rcvd = None;
           }
@@ -143,6 +165,7 @@ let create ?(outbuf = 64 * 1024) ?(max_frame = Wire.Frame.max_frame_bytes) ~n ()
     conns = Array.of_list !conns;
     pair_fds = !pair_fds;
     scratch = Bytes.create 65536;
+    recv = Array.make_matrix n n [];
     closed = false;
     s_rounds = 0;
     s_frames = 0;
@@ -153,6 +176,8 @@ let create ?(outbuf = 64 * 1024) ?(max_frame = Wire.Frame.max_frame_bytes) ~n ()
     s_polls = 0;
     s_parked = 0;
     s_max_backlog = 0;
+    s_in_place = 0;
+    s_minor_words = 0.0;
   }
 
 let close t =
@@ -174,19 +199,35 @@ let stats t =
     p_polls = t.s_polls;
     p_parked = t.s_parked;
     p_max_backlog = t.s_max_backlog;
+    p_frames_encoded_in_place = t.s_in_place;
+    p_minor_words_per_round =
+      (if t.s_rounds = 0 then 0.0
+       else t.s_minor_words /. float_of_int t.s_rounds);
   }
 
-let prefix body =
-  let len = String.length body in
-  let b = Bytes.create 4 in
-  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
-  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
-  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
-  Bytes.set b 3 (Char.chr (len land 0xff));
-  Bytes.to_string b ^ body
-
 (* Bytes not yet flushed to the kernel for one connection. *)
-let backlog c = Ring.length c.c_ring + (String.length c.c_frame - c.c_off)
+let backlog c = Ring.length c.c_ring + (c.c_out_len - c.c_off)
+
+(* Stage one connection's round frame into [c_out]: u32 body-length prefix at
+   offset 0, then [fill] writes the [body_len] body bytes at offset 4. The
+   scratch grows to fit and is reused every round after. *)
+let load_frame t c ~body_len fill =
+  let total = 4 + body_len in
+  if Bytes.length c.c_out < total then
+    c.c_out <- Bytes.create (max total (2 * Bytes.length c.c_out));
+  Bytes.set c.c_out 0 (Char.chr ((body_len lsr 24) land 0xff));
+  Bytes.set c.c_out 1 (Char.chr ((body_len lsr 16) land 0xff));
+  Bytes.set c.c_out 2 (Char.chr ((body_len lsr 8) land 0xff));
+  Bytes.set c.c_out 3 (Char.chr (body_len land 0xff));
+  fill c.c_out;
+  c.c_out_len <- total;
+  c.c_off <- Ring.push c.c_ring c.c_out 0 total;
+  c.c_rcvd <- None;
+  t.s_frames <- t.s_frames + 1;
+  t.s_frame_bytes <- t.s_frame_bytes + body_len;
+  t.s_wire_bytes <- t.s_wire_bytes + total;
+  if c.c_off < total then t.s_parked <- t.s_parked + 1;
+  t.s_max_backlog <- max t.s_max_backlog (backlog c)
 
 (* Admit parked frame bytes into the ring, then flush the ring. Returns true
    if any byte moved to the kernel. *)
@@ -194,16 +235,15 @@ let service_write t c =
   let progressed = ref false in
   let continue = ref true in
   while !continue do
-    if c.c_off < String.length c.c_frame then
-      c.c_off <- c.c_off + Ring.push c.c_ring c.c_frame c.c_off;
+    if c.c_off < c.c_out_len then
+      c.c_off <- c.c_off + Ring.push c.c_ring c.c_out c.c_off (c.c_out_len - c.c_off);
     let written = Ring.write_fd c.c_ring c.c_wfd in
     if written > 0 then begin
       t.s_writes <- t.s_writes + 1;
       progressed := true
     end
     else continue := false;
-    if Ring.length c.c_ring = 0 && c.c_off = String.length c.c_frame then
-      continue := false
+    if Ring.length c.c_ring = 0 && c.c_off = c.c_out_len then continue := false
   done;
   !progressed
 
@@ -213,7 +253,7 @@ let service_read t ~round c =
   | 0 -> failwith "Net_poll: connection closed mid-round"
   | k ->
       t.s_reads <- t.s_reads + 1;
-      Wire.Frame.Decoder.feed c.c_dec (Bytes.sub_string t.scratch 0 k);
+      Wire.Frame.Decoder.feed_sub c.c_dec t.scratch 0 k;
       let rec pump () =
         match Wire.Frame.Decoder.next c.c_dec with
         | Error msg -> failwith ("Net_poll: " ^ msg)
@@ -230,26 +270,10 @@ let service_read t ~round c =
       in
       pump ()
 
-let exchange t ~round frames =
-  if t.closed then invalid_arg "Net_poll.exchange: closed";
-  if
-    Array.length frames <> t.n
-    || Array.exists (fun row -> Array.length row <> t.n) frames
-  then invalid_arg "Net_poll.exchange: frame matrix shape";
-  (* Load the round: every connection gets its prefixed frame; whatever fits
-     goes straight into the ring, the rest parks. *)
-  Array.iter
-    (fun c ->
-      let body = frames.(c.c_src).(c.c_dst) in
-      c.c_frame <- prefix body;
-      c.c_off <- Ring.push c.c_ring c.c_frame 0;
-      c.c_rcvd <- None;
-      t.s_frames <- t.s_frames + 1;
-      t.s_frame_bytes <- t.s_frame_bytes + String.length body;
-      t.s_wire_bytes <- t.s_wire_bytes + String.length c.c_frame;
-      if c.c_off < String.length c.c_frame then t.s_parked <- t.s_parked + 1;
-      t.s_max_backlog <- max t.s_max_backlog (backlog c))
-    t.conns;
+(* Drive the event loop until every connection has both flushed its round
+   frame and received its peer's. Every connection must have been staged by
+   [load_frame] first. *)
+let drive t ~round =
   let undone = ref (Array.length t.conns) in
   (* Drain any bytes the decoders already hold (cannot happen between
      lock-step rounds, but keeps the loop's invariant local). *)
@@ -286,7 +310,28 @@ let exchange t ~round frames =
         end)
       !rconns
   done;
-  t.s_rounds <- t.s_rounds + 1;
+  t.s_rounds <- t.s_rounds + 1
+
+let check_open_and_shape t rows =
+  if t.closed then invalid_arg "Net_poll.exchange: closed";
+  if
+    Array.length rows <> t.n
+    || Array.exists (fun row -> Array.length row <> t.n) rows
+  then invalid_arg "Net_poll.exchange: frame matrix shape"
+
+let exchange t ~round frames =
+  check_open_and_shape t frames;
+  (* Load the round: every connection gets its prefixed frame; whatever fits
+     goes straight into the ring, the rest parks. *)
+  Array.iter
+    (fun c ->
+      let body = frames.(c.c_src).(c.c_dst) in
+      let body_len = String.length body in
+      load_frame t c ~body_len (fun buf -> Bytes.blit_string body 0 buf 4 body_len))
+    t.conns;
+  drive t ~round;
+  (* Fresh result matrix: the direct-call (string-matrix) interface is the
+     test surface and keeps value semantics. *)
   let received = Array.make_matrix t.n t.n [] in
   Array.iter
     (fun c ->
@@ -296,10 +341,37 @@ let exchange t ~round frames =
     t.conns;
   received
 
+(* The engine-facing path: encode each pair's frame straight into the
+   connection's outbound scratch — no frame string, no prefix concatenation —
+   and hand back the reused delivered matrix. *)
+let exchange_entries t ~round entries =
+  check_open_and_shape t entries;
+  let mw0 = Gc.minor_words () in
+  Array.iter
+    (fun c ->
+      let frame =
+        { Wire.Frame.round; entries = entries.(c.c_src).(c.c_dst) }
+      in
+      let body_len = Wire.Frame.encoded_size frame in
+      load_frame t c ~body_len (fun buf ->
+          ignore (Wire.Frame.encode_into frame buf 4 : int));
+      t.s_in_place <- t.s_in_place + 1)
+    t.conns;
+  drive t ~round;
+  Array.iter
+    (fun c ->
+      match c.c_rcvd with
+      | Some es -> t.recv.(c.c_src).(c.c_dst) <- es
+      | None -> assert false)
+    t.conns;
+  t.s_minor_words <- t.s_minor_words +. (Gc.minor_words () -. mw0);
+  t.recv
+
 let transport t =
   {
     Net.Transport.name = "poll";
-    exchange = (fun ~round ~frames ~entries:_ -> exchange t ~round frames);
+    direct = false;
+    exchange = (fun ~round ~entries -> exchange_entries t ~round entries);
     close = (fun () -> close t);
   }
 
@@ -327,26 +399,40 @@ let rss_bytes () =
           | None -> None)
       | _ -> None)
 
+let parse_vm_line ~key line =
+  let klen = String.length key in
+  if String.length line <= klen || String.sub line 0 klen <> key then None
+  else
+    let rest = String.sub line klen (String.length line - klen) in
+    let digits =
+      String.to_seq rest
+      |> Seq.filter (fun c -> c >= '0' && c <= '9')
+      |> String.of_seq
+    in
+    match int_of_string_opt digits with
+    | Some kb -> Some (kb * 1024)
+    | None -> None
+
+(* Some kernels (and containers hiding /proc detail) omit VmHWM; report the
+   last peak we did see rather than pretending the process shrank to
+   nothing. *)
+let last_peak = ref None
+
 let rss_peak_bytes () =
   match open_in "/proc/self/status" with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> !last_peak
   | ic ->
       let rec scan () =
         match input_line ic with
         | exception End_of_file -> None
-        | line ->
-            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
-              let rest = String.sub line 6 (String.length line - 6) in
-              let digits =
-                String.to_seq rest
-                |> Seq.filter (fun c -> c >= '0' && c <= '9')
-                |> String.of_seq
-              in
-              match int_of_string_opt digits with
-              | Some kb -> Some (kb * 1024)
-              | None -> None
-            else scan ()
+        | line -> (
+            match parse_vm_line ~key:"VmHWM:" line with
+            | Some v -> Some v
+            | None -> scan ())
       in
       let r = scan () in
       close_in ic;
-      r
+      (match r with
+      | Some _ -> last_peak := r
+      | None -> ());
+      (match r with Some _ -> r | None -> !last_peak)

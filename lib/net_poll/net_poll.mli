@@ -17,11 +17,18 @@
     paper's communication-optimality is observable at scale: cost is words
     on the wire, not threads or syscalls per session.
 
-    The unit of work is an {e exchange} — one engine round's full frame
-    matrix in, the delivered entries out (see {!Net.Transport}). Within an
-    exchange, everything is event-driven; across exchanges the engine keeps
-    its lock-step round structure, which is what makes the poll backend
-    bit-identical to the simulator. *)
+    The unit of work is an {e exchange} — one engine round's traffic in, the
+    delivered entries out (see {!Net.Transport}). Within an exchange,
+    everything is event-driven; across exchanges the engine keeps its
+    lock-step round structure, which is what makes the poll backend
+    bit-identical to the simulator.
+
+    The steady-state byte path is allocation-free on this side of the
+    payloads: frames encode in place into per-connection reusable buffers
+    ({!Wire.Frame.encode_into}), reads feed the decoder by offset from one
+    shared scratch ({!Wire.Frame.Decoder.feed_sub}), and the delivered
+    matrix the engine sees is reused across exchanges. {!stats} reports the
+    discipline: [p_frames_encoded_in_place] and [p_minor_words_per_round]. *)
 
 type stats = {
   p_rounds : int;  (** Exchanges completed. *)
@@ -38,6 +45,15 @@ type stats = {
           outbound ring in one piece and parked for a later top-up. *)
   p_max_backlog : int;
       (** Peak bytes queued behind a single connection (ring + parked). *)
+  p_frames_encoded_in_place : int;
+      (** Frames encoded directly into a connection's reusable outbound
+          buffer (the engine-facing entries path). The direct-call string
+          interface below bypasses in-place encoding, so this counts only
+          transport-driven frames. *)
+  p_minor_words_per_round : float;
+      (** Mean minor-heap words allocated per exchange on the entries path —
+          the transport's own allocation footprint, measured around each
+          exchange with [Gc.minor_words]. *)
 }
 
 type t
@@ -63,9 +79,12 @@ val exchange :
 val stats : t -> stats
 
 val transport : t -> Net.Transport.t
-(** The {!Net.Transport} view driven by [Engine.run_poll]: [exchange]
-    ignores the pre-decoded entries and trusts only the wire. [close]
-    closes the mesh. *)
+(** The {!Net.Transport} view driven by [Engine.run_poll] ([direct = false]):
+    each pair's frame is sized with {!Wire.Frame.encoded_size} and encoded in
+    place into the connection's outbound buffer; what the engine receives is
+    only what decoded off the wire. The returned matrix is reused across
+    exchanges (borrowed, per the {!Net.Transport} contract). [close] closes
+    the mesh. *)
 
 val close : t -> unit
 (** Close every socket; idempotent. *)
@@ -79,4 +98,12 @@ val rss_bytes : unit -> int option
 (** Current resident set size, in bytes. *)
 
 val rss_peak_bytes : unit -> int option
-(** Peak resident set size ([VmHWM]), in bytes. *)
+(** Peak resident set size ([VmHWM]), in bytes. Kernels that omit [VmHWM]
+    report the last peak observed by this process instead of [None]
+    forever. *)
+
+val parse_vm_line : key:string -> string -> int option
+(** [parse_vm_line ~key line] parses one [/proc/self/status] line of the
+    form ["VmHWM:\t  1234 kB"]: when [line] starts with [key] and carries
+    digits, the value in bytes ([kB * 1024]); [None] for other keys or a
+    digitless line. Exposed for tests. *)

@@ -106,9 +106,9 @@ let read_frame ic =
   | tag -> failwith (Printf.sprintf "Net_unix: bad frame tag %d" tag)
 
 (* Multi-session framing: u32 length prefix, then a Wire.Frame body. *)
-let write_session_frame oc body =
-  write_u32 oc (String.length body);
-  output_string oc body;
+let write_session_frame_bytes oc buf len =
+  write_u32 oc len;
+  output oc buf 0 len;
   flush oc
 
 let read_session_frame ic =
@@ -450,6 +450,10 @@ let run_sessions ?t ?telemetry ?(domains = 1) ~n sessions =
     let live = ref [] in
     (* (index, sid, state ref), admission order; states are always [Step]. *)
     let round = ref 0 in
+    (* Grow-only per-party scratch for outbound frames: each peer's frame is
+       sized with [encoded_size] and encoded in place, so the steady-state
+       send path allocates no frame strings. *)
+    let out_scratch = ref (Bytes.create 256) in
     while !pending <> [] || !live <> [] do
       (* Admit sessions whose start round has arrived. *)
       let rec admit () =
@@ -503,10 +507,15 @@ let run_sessions ?t ?telemetry ?(domains = 1) ~n sessions =
                     | _ -> None)
                   !live
               in
-              let body = Wire.Frame.encode { Wire.Frame.round = !round; entries } in
-              write_session_frame oc body;
+              let frame = { Wire.Frame.round = !round; entries } in
+              let len = Wire.Frame.encoded_size frame in
+              if Bytes.length !out_scratch < len then
+                out_scratch :=
+                  Bytes.create (max len (2 * Bytes.length !out_scratch));
+              ignore (Wire.Frame.encode_into frame !out_scratch 0 : int);
+              write_session_frame_bytes oc !out_scratch len;
               Atomic.incr frames;
-              ignore (Atomic.fetch_and_add frame_bytes (String.length body));
+              ignore (Atomic.fetch_and_add frame_bytes len);
               ignore (Atomic.fetch_and_add naive_frames nlive))
         ocs;
       (* Self-delivery slots, captured before anything advances. *)

@@ -196,6 +196,18 @@ let parallel_for ?domains pool ~n body =
     match j.failed with Some e -> raise e | None -> ()
   end
 
+let for_chunks ?domains pool ~chunk ~n body =
+  if chunk < 1 then invalid_arg "Pool.for_chunks: chunk < 1";
+  if n < 0 then invalid_arg "Pool.for_chunks: n < 0";
+  if n > 0 then begin
+    let groups = (n + chunk - 1) / chunk in
+    parallel_for ?domains pool ~n:groups (fun g ->
+        let lo = g * chunk and hi = min n ((g + 1) * chunk) in
+        for i = lo to hi - 1 do
+          body i
+        done)
+  end
+
 let map_chunks ?domains pool ~chunk ~n f =
   if chunk < 1 then invalid_arg "Pool.map_chunks: chunk < 1";
   if n < 0 then invalid_arg "Pool.map_chunks: n < 0";

@@ -54,6 +54,13 @@ val map_chunks : ?domains:int -> t -> chunk:int -> n:int -> (int -> 'a) -> 'a ar
 (** {!map} with indices claimed [chunk] at a time — amortizes the atomic
     counter when per-index work is tiny. [map] is [map_chunks ~chunk:1]. *)
 
+val for_chunks : ?domains:int -> t -> chunk:int -> n:int -> (int -> unit) -> unit
+(** {!parallel_for} with indices claimed [chunk] at a time: domains steal
+    whole shards of [chunk] consecutive indices from the atomic counter, so a
+    loop over thousands of tiny bodies (the engine's live-session sweep) pays
+    one claim per shard instead of one per index. Same determinism contract
+    as {!parallel_for}; [chunk >= n] degrades to a single shard (sequential). *)
+
 val shutdown : t -> unit
 (** Join this pool's workers. Only meaningful for {!create}d pools (the
     {!shared} pool lives for the process; exiting with idle workers is

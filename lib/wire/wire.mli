@@ -15,6 +15,13 @@
 type writer = Buffer.t -> unit
 
 val encode : writer -> string
+(** Runs the writer and returns the encoded bytes. The buffer behind it is a
+    per-domain scratch (reused across calls; reentrant calls fall back to a
+    fresh buffer), so only the returned string is allocated per message. *)
+
+val varint_size : int -> int
+(** Byte length of [w_varint v]'s output, without encoding. Raises
+    [Invalid_argument] on negative input, like the writer. *)
 
 val w_u8 : int -> writer
 val w_u16 : int -> writer
@@ -102,6 +109,19 @@ module Frame : sig
 
   val encode : t -> string
 
+  val encoded_size : t -> int
+  (** Exact byte length of [encode f], computed without encoding — the
+      engine's frame-byte ledger accounting is this, so the transport never
+      has to materialize a frame just to measure it. *)
+
+  val encode_into : t -> Bytes.t -> int -> int
+  (** [encode_into f buf off] writes [encode f]'s bytes into [buf] starting
+      at [off] and returns the offset one past the last byte written
+      ([off + encoded_size f]). The caller guarantees capacity (size the
+      buffer with {!encoded_size}); no intermediate buffer or string is
+      allocated. Raises [Invalid_argument] on negative varint fields, like
+      the writer-based encoders. *)
+
   val decode : string -> t option
   (** Total: [None] on any malformation, like every decoder in this module. *)
 
@@ -121,6 +141,13 @@ module Frame : sig
 
     val feed : t -> string -> unit
     (** Append a chunk of stream bytes. Ignored after an error. *)
+
+    val feed_sub : t -> Bytes.t -> int -> int -> unit
+    (** [feed_sub d src off len] appends [src[off .. off+len-1]] — {!feed}
+        without the intermediate string, for callers that read into a
+        reusable scratch buffer (the socket transports). The bytes are
+        copied out before returning; [src] may be reused immediately.
+        Raises [Invalid_argument] if the range is out of bounds. *)
 
     val next : t -> (frame option, string) result
     (** [Ok (Some frame)] — one complete frame decoded and consumed;

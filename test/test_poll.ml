@@ -151,7 +151,13 @@ let test_engine_progresses_under_backpressure () =
     (st.Net_poll.p_parked > 0);
   Alcotest.(check bool) "wire bytes = frame bytes + prefixes" true
     (st.Net_poll.p_wire_bytes
-    = st.Net_poll.p_frame_bytes + (4 * st.Net_poll.p_frames))
+    = st.Net_poll.p_frame_bytes + (4 * st.Net_poll.p_frames));
+  (* The engine-facing path never materializes a frame string: every frame
+     the transport moved was encoded in place. *)
+  Alcotest.(check int) "every frame encoded in place" st.Net_poll.p_frames
+    st.Net_poll.p_frames_encoded_in_place;
+  Alcotest.(check bool) "allocation meter ran" true
+    (st.Net_poll.p_minor_words_per_round > 0.0)
 
 (* ---- transport violations and lifecycle ----------------------------------- *)
 
@@ -195,6 +201,32 @@ let test_rss_probes () =
   | Some b -> Alcotest.(check bool) "peak rss positive" true (b > 0)
   | None -> Alcotest.fail "rss_peak_bytes unavailable on Linux"
 
+let test_parse_vm_line () =
+  let check name expect line =
+    Alcotest.(check (option int))
+      name expect
+      (Net_poll.parse_vm_line ~key:"VmHWM:" line)
+  in
+  check "tab-separated" (Some (5124 * 1024)) "VmHWM:\t    5124 kB";
+  check "space-separated" (Some (42 * 1024)) "VmHWM:   42 kB";
+  check "zero" (Some 0) "VmHWM:\t       0 kB";
+  check "other key" None "VmRSS:\t    5124 kB";
+  check "prefix only, no digits" None "VmHWM:\t kB";
+  check "bare key" None "VmHWM:";
+  check "empty line" None "";
+  Alcotest.(check (option int))
+    "different key matches" (Some (9 * 1024))
+    (Net_poll.parse_vm_line ~key:"VmRSS:" "VmRSS:\t9 kB");
+  (* Absent VmHWM must not zero the soak's peak tracking: once a peak has
+     been observed, the probe keeps reporting the last-known value. *)
+  match Net_poll.rss_peak_bytes () with
+  | None -> Alcotest.fail "rss_peak_bytes unavailable on Linux"
+  | Some _ -> (
+      (* A second read still succeeds (and refreshes the cache). *)
+      match Net_poll.rss_peak_bytes () with
+      | Some b -> Alcotest.(check bool) "cached peak positive" true (b > 0)
+      | None -> Alcotest.fail "peak cache lost")
+
 let suite =
   [
     Alcotest.test_case "poll = sim: K=8 equivocate, staggered, tiny rings"
@@ -209,4 +241,5 @@ let suite =
       test_wrong_round_rejected;
     Alcotest.test_case "create/close/exchange lifecycle" `Quick test_lifecycle;
     Alcotest.test_case "/proc memory probes" `Quick test_rss_probes;
+    Alcotest.test_case "parse_vm_line" `Quick test_parse_vm_line;
   ]

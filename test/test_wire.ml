@@ -226,6 +226,119 @@ let prop_decoder_chunked_roundtrip =
       let dec = Wire.Frame.Decoder.create () in
       feed_chunked dec (stream_of frames) size = Ok frames)
 
+(* ---- allocation-free encode/feed paths ≡ the legacy ones ------------------ *)
+
+(* [encode_into] must produce byte-for-byte what [encode] does (and
+   [encoded_size] must price it exactly) — the engine ledger accounts frames
+   with [encoded_size] while the poll transport writes them with
+   [encode_into], so these identities are what keeps the ledger equal to the
+   bytes on the wire. *)
+let frame_gen =
+  QCheck.(pair small_nat (small_list (pair small_nat string)))
+
+let prop_encode_into_differential =
+  QCheck.Test.make ~name:"encode_into = encode (bytes and size)" ~count:300
+    QCheck.(pair frame_gen (int_range 0 9))
+    (fun ((round, entries), off) ->
+      let f = { Wire.Frame.round; entries } in
+      let legacy = Wire.Frame.encode f in
+      let size = Wire.Frame.encoded_size f in
+      size = String.length legacy
+      &&
+      let buf = Bytes.make (off + size + 3) '\xa5' in
+      let fin = Wire.Frame.encode_into f buf off in
+      fin = off + size
+      && Bytes.sub_string buf off size = legacy
+      (* neighbouring bytes untouched *)
+      && Bytes.sub_string buf 0 off = String.make off '\xa5'
+      && Bytes.sub_string buf fin 3 = "\xa5\xa5\xa5")
+
+(* Like [feed_chunked], but through [feed_sub]: each chunk is planted at a
+   non-zero offset of an oversized scratch (stale bytes around it) to prove
+   the range — not the buffer — is what gets fed. *)
+let feed_chunked_sub dec s size =
+  let scratch = Bytes.make (size + 7) '\xee' in
+  let frames = ref [] in
+  let err = ref None in
+  let i = ref 0 in
+  while !i < String.length s && !err = None do
+    let k = min size (String.length s - !i) in
+    Bytes.blit_string s !i scratch 3 k;
+    Wire.Frame.Decoder.feed_sub dec scratch 3 k;
+    i := !i + k;
+    match drain dec with
+    | Ok fs -> frames := !frames @ fs
+    | Error msg -> err := Some msg
+  done;
+  match !err with Some msg -> Error msg | None -> Ok !frames
+
+let prop_feed_sub_differential =
+  (* On arbitrary bytes — valid streams and garbage alike — [feed_sub]
+     behaves exactly like [feed] under the same chunking. *)
+  QCheck.Test.make ~name:"feed_sub = feed under random chunking" ~count:300
+    QCheck.(pair string (int_range 1 17))
+    (fun (s, size) ->
+      let a = Wire.Frame.Decoder.create ~max_frame:4096 () in
+      let b = Wire.Frame.Decoder.create ~max_frame:4096 () in
+      feed_chunked a s size = feed_chunked_sub b s size
+      && Wire.Frame.Decoder.buffered a = Wire.Frame.Decoder.buffered b)
+
+let prop_feed_sub_stream_roundtrip =
+  QCheck.Test.make ~name:"frame stream roundtrip via feed_sub" ~count:100
+    QCheck.(pair (small_list frame_gen) (int_range 1 17))
+    (fun (raw, size) ->
+      let frames =
+        List.map (fun (round, entries) -> { Wire.Frame.round; entries }) raw
+      in
+      let dec = Wire.Frame.Decoder.create () in
+      feed_chunked_sub dec (stream_of frames) size = Ok frames)
+
+let test_encode_into_edges () =
+  (* Empty keep-alive frame: the 2-byte body every idle edge sends each
+     round. *)
+  let empty = { Wire.Frame.round = 0; entries = [] } in
+  Alcotest.check Alcotest.int "empty encoded_size" 2
+    (Wire.Frame.encoded_size empty);
+  let buf = Bytes.make 4 'z' in
+  Alcotest.check Alcotest.int "empty encode_into end" 3
+    (Wire.Frame.encode_into empty buf 1);
+  Alcotest.check Alcotest.string "empty bytes placed" "z\x00\x00z"
+    (Bytes.to_string buf);
+  Alcotest.check_raises "encode_into negative round"
+    (Invalid_argument "Wire.w_varint") (fun () ->
+      ignore (Wire.Frame.encode_into { Wire.Frame.round = -1; entries = [] } buf 0));
+  Alcotest.check_raises "feed_sub bad range"
+    (Invalid_argument "Wire.Frame.Decoder.feed_sub") (fun () ->
+      Wire.Frame.Decoder.feed_sub (Wire.Frame.Decoder.create ()) buf 2 3)
+
+let test_frame_at_exact_limit () =
+  (* A frame of exactly [max_frame_bytes] is the largest the stream accepts:
+     body = varint 0 (round) + varint 1 (count) + varint 0 (sid)
+          + varint len (4 bytes here) + len payload bytes. *)
+  let len = Wire.Frame.max_frame_bytes - 7 in
+  let f = { Wire.Frame.round = 0; entries = [ (0, String.make len 'q') ] } in
+  Alcotest.check Alcotest.int "sized at the limit" Wire.Frame.max_frame_bytes
+    (Wire.Frame.encoded_size f);
+  let buf = Bytes.create (Wire.Frame.encoded_size f) in
+  let fin = Wire.Frame.encode_into f buf 0 in
+  Alcotest.check Alcotest.int "filled exactly" (Bytes.length buf) fin;
+  let dec = Wire.Frame.Decoder.create () in
+  Wire.Frame.Decoder.feed dec (u32_prefix (Bytes.to_string buf));
+  (match drain dec with
+  | Ok [ f' ] ->
+      Alcotest.check Alcotest.bool "limit frame roundtrips" true (f' = f)
+  | Ok _ -> Alcotest.fail "limit frame: wrong frame count"
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.check Alcotest.int "nothing buffered" 0
+    (Wire.Frame.Decoder.buffered dec);
+  (* One byte more and the declared length is rejected before the body. *)
+  let over = { f with Wire.Frame.entries = [ (0, String.make (len + 1) 'q') ] } in
+  let dec = Wire.Frame.Decoder.create () in
+  Wire.Frame.Decoder.feed dec (u32_prefix (Wire.Frame.encode over));
+  match Wire.Frame.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+
 let prop_decoder_garbage_total =
   (* Arbitrary bytes through the incremental decoder: [next] returns, it
      never raises — malformation is a value, not an exception. *)
@@ -245,6 +358,13 @@ let suite =
       test_decoder_oversize_and_garbage;
     QCheck_alcotest.to_alcotest prop_decoder_chunked_roundtrip;
     QCheck_alcotest.to_alcotest prop_decoder_garbage_total;
+    Alcotest.test_case "encode_into: keep-alive and bad inputs" `Quick
+      test_encode_into_edges;
+    Alcotest.test_case "frame at exactly max_frame_bytes" `Quick
+      test_frame_at_exact_limit;
+    QCheck_alcotest.to_alcotest prop_encode_into_differential;
+    QCheck_alcotest.to_alcotest prop_feed_sub_differential;
+    QCheck_alcotest.to_alcotest prop_feed_sub_stream_roundtrip;
     Alcotest.test_case "composites" `Quick test_composites;
     Alcotest.test_case "adversarial bytes" `Quick test_adversarial;
     Alcotest.test_case "session frames" `Quick test_session_frame;
