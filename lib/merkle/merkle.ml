@@ -25,9 +25,15 @@ let empty_leaf = Sha256.digest "\x02"
 
 (* Per-domain hashing context for [build]: a tree is built once per party
    per Π_ℓBA+ invocation, and the context (message schedule + block buffer)
-   was the build's largest single allocation. [build] never calls out to
-   user code, so domain-local reuse is safe. *)
-let build_ctx : Sha256.ctx Domain.DLS.key = Domain.DLS.new_key Sha256.init
+   was the build's largest single allocation. DLS is per-domain, not
+   per-thread, and the unix transport runs every party's protocol code on
+   systhreads inside one domain — a preemption mid-hash would let two
+   builds interleave on one context. The busy flag hands a concurrent
+   caller a fresh context instead; [!busy]/[busy := true] has no safe
+   point between the read and the write, so the check-out is atomic
+   w.r.t. systhreads. *)
+let build_ctx : (Sha256.ctx * bool ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (Sha256.init (), ref false))
 
 let next_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
@@ -42,8 +48,10 @@ let build values =
     go 0 padded
   in
   let levels = Array.init (depth + 1) (fun l -> Bytes.create ((padded lsr l) * dsize)) in
-  let ctx = Domain.DLS.get build_ctx in
-  Sha256.reset ctx;
+  let slot, busy = Domain.DLS.get build_ctx in
+  let owned = not !busy in
+  if owned then busy := true;
+  let ctx = if owned then slot else Sha256.init () in
   let level0 = levels.(0) in
   for i = 0 to leaves - 1 do
     Sha256.reset ctx;
@@ -63,6 +71,7 @@ let build values =
       Sha256.finalize_into ctx here ~pos:(i * dsize)
     done
   done;
+  if owned then busy := false;
   { leaves; padded; levels }
 
 let root t = Bytes.to_string t.levels.(Array.length t.levels - 1)
@@ -80,16 +89,22 @@ let witness t i =
 
 (* Per-domain verification scratch: a verify runs once per harvested share
    on the Π_ℓBA+ hot path, and the fresh context + digest buffer were most
-   of its allocation. [verify] never calls out to user code, so plain
-   domain-local reuse is safe (no re-entrancy to guard against). *)
-let verify_scratch : (Sha256.ctx * Bytes.t) Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> (Sha256.init (), Bytes.create dsize))
+   of its allocation. Same systhread caveat and busy-flag discipline as
+   [build_ctx] above — the unix transport verifies from many threads in
+   one domain. *)
+let verify_scratch : (Sha256.ctx * Bytes.t * bool ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (Sha256.init (), Bytes.create dsize, ref false))
 
 let verify ~root ~index ~value w =
   if index < 0 then false
   else begin
     (* One context and one scratch digest, reused up the path. *)
-    let ctx, h = Domain.DLS.get verify_scratch in
+    let slot_ctx, slot_h, busy = Domain.DLS.get verify_scratch in
+    let owned = not !busy in
+    if owned then busy := true;
+    let ctx, h =
+      if owned then (slot_ctx, slot_h) else (Sha256.init (), Bytes.create dsize)
+    in
     Sha256.reset ctx;
     Sha256.feed_byte ctx 0x00;
     Sha256.feed ctx value;
@@ -113,7 +128,9 @@ let verify ~root ~index ~value w =
             go (idx / 2) rest
           end
     in
-    go index w.path
+    let result = go index w.path in
+    if owned then busy := false;
+    result
   end
 
 let witness_size_bits w = 8 * (1 + (Sha256.digest_size * List.length w.path))

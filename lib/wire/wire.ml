@@ -341,9 +341,15 @@ module Frame = struct
      entries, are allocated. *)
   (* Per-domain (sid, payload offset, payload length) triples from the
      validation pass below — re-walked backwards so the entry list is built
-     front-first without the build-reversed-then-[List.rev] second list. *)
-  let entry_scratch : int array ref Domain.DLS.key =
-    Domain.DLS.new_key (fun () -> ref (Array.make 96 0))
+     front-first without the build-reversed-then-[List.rev] second list.
+     DLS is per-domain, not per-thread: the unix transport decodes frames
+     from several systhreads in one domain, and a preemption point inside
+     [Bytes.sub_string] below could interleave two decodes on one array.
+     The busy flag hands a concurrent (or re-entrant) caller a fresh
+     array instead — [!busy]/[busy := true] has no safe point between the
+     read and the write, so the check-out is atomic w.r.t. systhreads. *)
+  let entry_scratch : (int array ref * bool ref) Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> (ref (Array.make 96 0), ref false))
 
   let decode_bytes buf pos limit =
     (* Direct style throughout: this parser runs once per received frame and
@@ -359,7 +365,10 @@ module Frame = struct
     let count = if round < 0 then -1 else read_varint () in
     if count < 0 || count > max_sessions then None
     else begin
-      let scratch = Domain.DLS.get entry_scratch in
+      let slot, busy = Domain.DLS.get entry_scratch in
+      let owned = not !busy in
+      if owned then busy := true;
+      let scratch = if owned then slot else ref (Array.make 96 0) in
       if Array.length !scratch < 3 * count then
         scratch := Array.make (max (3 * count) (2 * Array.length !scratch)) 0;
       let offs = !scratch in
@@ -379,17 +388,21 @@ module Frame = struct
               scan (i + 1)
             end
       in
-      if not (scan 0) then None
-      else begin
-        let entries = ref [] in
-        for i = count - 1 downto 0 do
-          let sid = offs.((3 * i) + 0) in
-          let off = offs.((3 * i) + 1) in
-          let len = offs.((3 * i) + 2) in
-          entries := (sid, Bytes.sub_string buf off len) :: !entries
-        done;
-        Some { round; entries = !entries }
-      end
+      let result =
+        if not (scan 0) then None
+        else begin
+          let entries = ref [] in
+          for i = count - 1 downto 0 do
+            let sid = offs.((3 * i) + 0) in
+            let off = offs.((3 * i) + 1) in
+            let len = offs.((3 * i) + 2) in
+            entries := (sid, Bytes.sub_string buf off len) :: !entries
+          done;
+          Some { round; entries = !entries }
+        end
+      in
+      if owned then busy := false;
+      result
     end
 
   (* Incremental decoding of the length-prefixed frame stream the socket
