@@ -554,6 +554,100 @@ let t8 () =
      the open problem is precisely whether the t < n/2 row can be made O(l*n)-cheap.)\n"
 
 (* ------------------------------------------------------------------ *)
+(* AUTH: the Pi_BA substrate seam — unauth t < n/3 vs auth t < n/2     *)
+(* ------------------------------------------------------------------ *)
+
+let auth_exp () =
+  header
+    "AUTH --  BA substrate backends: unauth (t < n/3) vs auth quorum BA (t < n/2)"
+    "The Pi_BA seam admits two backends: the phase-king stack (plain model, t < n/3,\n\
+     Pi_Z's default) and the authenticated quorum-certificate BA (XMSS PKI, t < n/2,\n\
+     4t+7 rounds). At equal n, the auth backend buys maximal resilience with\n\
+     signature bits; both rows must satisfy Definition 1 (agreement + convex\n\
+     validity) to land in the ledger.";
+  let bits = 32 in
+  Printf.printf "%-10s | %-28s | %14s | %8s | %8s\n" "n (t)" "backend" "honest kbits"
+    "rounds" "CA holds";
+  print_endline line;
+  let json_rows = ref [] in
+  let row ~backend ~n ~t ~honest_bits ~rounds ~holds =
+    Printf.printf "%-4d (%d)   | %-28s | %14s | %8d | %8b\n" n t backend
+      (kbits honest_bits) rounds holds;
+    json_rows :=
+      [
+        ("backend", Bench_json.Str backend);
+        ("n", Bench_json.Int n);
+        ("t", Bench_json.Int t);
+        ("bits", Bench_json.Int bits);
+        ("honest_bits", Bench_json.Int honest_bits);
+        ("rounds", Bench_json.Int rounds);
+        ("ca_holds", Bench_json.Bool holds);
+      ]
+      :: !json_rows
+  in
+  List.iter
+    (fun n ->
+      let rng = Prng.create (1100 + n) in
+      let mk_inputs corrupt =
+        Array.map
+          (fun v -> Workload.to_fixed ~bits v)
+          (Workload.apply_input_attack Workload.Outlier_high ~corrupt
+             (Workload.sensor_readings rng ~n ~base:260000 ~jitter:40))
+      in
+      (* Unauth backend: the functorized default — Pi_Z at its t < n/3 bound. *)
+      let t_plain = (n - 1) / 3 in
+      let corrupt = Workload.spread_corrupt ~n ~t:t_plain in
+      let inputs = mk_inputs corrupt in
+      let report =
+        Workload.run_int ~n ~t:t_plain ~corrupt
+          ~adversary:(Adversary.equivocate ~seed:6)
+          ~inputs:(Array.map Bigint.of_bitstring inputs)
+          Workload.pi_z.Workload.run
+      in
+      row ~backend:"unauth" ~n ~t:t_plain ~honest_bits:report.Workload.honest_bits
+        ~rounds:report.Workload.rounds
+        ~holds:(report.Workload.agreement && report.Workload.convex_validity);
+      (* Auth backend: native t < n/2 CA on the quorum-certificate BA. *)
+      let t_auth = (n - 1) / 2 in
+      let corrupt = Workload.spread_corrupt ~n ~t:t_auth in
+      let inputs = mk_inputs corrupt in
+      let setup =
+        Auth.Setup.generate ~seed:(1200 + n) ~n
+          ~capacity:(Auth.Auth_ba.required_capacity ~t:t_auth ~instances:n)
+      in
+      let xs = Auth.Auth_ba.of_setup setup in
+      let outcome =
+        Sim.run ~setup:`Authenticated ~n ~t:t_auth ~corrupt
+          ~adversary:(Adversary.equivocate ~seed:6) (fun ctx ->
+            Auth.Auth_ba.Xmss.agree xs ctx ~bits inputs.(ctx.Ctx.me))
+      in
+      let outputs = Sim.honest_outputs ~corrupt outcome in
+      let honest_inputs =
+        List.filteri (fun i _ -> not corrupt.(i)) (Array.to_list inputs)
+      in
+      let sorted = List.sort Bitstring.compare honest_inputs in
+      let lo = List.hd sorted and hi = List.nth sorted (List.length sorted - 1) in
+      let holds =
+        (match outputs with
+        | o :: r -> List.for_all (Bitstring.equal o) r
+        | [] -> false)
+        && List.for_all
+             (fun o -> Bitstring.compare lo o <= 0 && Bitstring.compare o hi <= 0)
+             outputs
+      in
+      row ~backend:"auth" ~n ~t:t_auth
+        ~honest_bits:outcome.Sim.metrics.Metrics.honest_bits
+        ~rounds:outcome.Sim.metrics.Metrics.rounds ~holds)
+    (if !smoke then [ 4 ] else [ 4; 5; 7 ]);
+  write_json ~path:"BENCH_auth.json"
+    ~meta:
+      [ ("experiment", Bench_json.Str "auth"); ("bits", Bench_json.Int bits) ]
+    ~rows:(List.rev !json_rows);
+  Printf.printf
+    "\n(each XMSS signature is ~17 KB and a quorum certificate carries n-t of them;\n\
+     the auth rows trade exactly that bit volume for resilience past n/3.)\n"
+
+(* ------------------------------------------------------------------ *)
 (* T9: parallel composition economics                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1375,7 +1469,7 @@ let parallel_bench () =
 let experiments =
   [
     ("t1", t1); ("t2", t2); ("f1", f1); ("t3", t3); ("t4", t4); ("t5", t5);
-    ("t6", t6); ("t7", t7); ("t8", t8); ("t9", t9); ("a1", a1);
+    ("t6", t6); ("t7", t7); ("t8", t8); ("auth", auth_exp); ("t9", t9); ("a1", a1);
     ("engine", engine_bench); ("substrate", substrate); ("bench", b1);
     ("telemetry", telemetry_bench); ("parallel", parallel_bench);
   ]

@@ -243,6 +243,57 @@ let check_engine_row i row =
   | Num g when g >= 0. -> ()
   | _ -> failwith (Printf.sprintf "rows[%d].gc is not a non-negative number" i)
 
+(* The auth experiment's rows compare the Pi_BA substrate backends at equal
+   n; every row must gate on Definition 1 (ca_holds), and the ledger must
+   pair both backends so the comparison is actually present. *)
+let check_auth_row i row =
+  let field key =
+    match List.assoc_opt key row with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "rows[%d] has no %S key" i key)
+  in
+  (match field "backend" with
+  | Str ("unauth" | "auth") -> ()
+  | Str b -> failwith (Printf.sprintf "rows[%d].backend %S is unknown" i b)
+  | _ -> failwith (Printf.sprintf "rows[%d].backend is not a string" i));
+  List.iter
+    (fun key ->
+      match field key with
+      | Num v when v >= 1. && Float.is_integer v -> ()
+      | _ -> failwith (Printf.sprintf "rows[%d].%s is not an integer >= 1" i key))
+    [ "n"; "t"; "bits"; "honest_bits"; "rounds" ];
+  match field "ca_holds" with
+  | Bool true -> ()
+  | Bool false ->
+      failwith
+        (Printf.sprintf "rows[%d].ca_holds is false: Definition 1 violated" i)
+  | _ -> failwith (Printf.sprintf "rows[%d].ca_holds is not a boolean" i)
+
+let check_auth_ledger rows =
+  let ns_of backend =
+    List.filter_map
+      (function
+        | Obj fields when List.assoc_opt "backend" fields = Some (Str backend)
+          -> (
+            match List.assoc_opt "n" fields with
+            | Some (Num n) -> Some n
+            | _ -> None)
+        | _ -> None)
+      rows
+  in
+  let unauth = ns_of "unauth" and auth = ns_of "auth" in
+  if unauth = [] then failwith "auth ledger has no backend=\"unauth\" rows";
+  if auth = [] then failwith "auth ledger has no backend=\"auth\" rows";
+  List.iter
+    (fun n ->
+      if not (List.mem n auth) then
+        failwith
+          (Printf.sprintf
+             "auth ledger has no backend=\"auth\" row at n=%g to pair the \
+              unauth one"
+             n))
+    unauth
+
 let check_engine_ledger rows =
   let poll_sessions =
     List.filter_map
@@ -287,12 +338,14 @@ let validate path =
               match row with
               | Obj ((_ :: _) as fields) ->
                   if experiment = "parallel" then check_parallel_row i fields;
-                  if experiment = "engine" then check_engine_row i fields
+                  if experiment = "engine" then check_engine_row i fields;
+                  if experiment = "auth" then check_auth_row i fields
               | Obj [] -> failwith (Printf.sprintf "rows[%d] is empty" i)
               | _ -> failwith (Printf.sprintf "rows[%d] is not an object" i))
             rows;
           if experiment = "engine" then check_engine_ledger rows;
-          List.length rows
+          if experiment = "auth" then check_auth_ledger rows;
+          (List.length rows, experiment)
       | Some _ -> failwith "\"rows\" is not an array"
       | None -> failwith "no top-level \"rows\" key")
   | _ -> failwith "top level is not an object"
@@ -304,12 +357,23 @@ let () =
     exit 2
   end;
   let failures = ref 0 in
+  let experiments = ref [] in
   List.iter
     (fun path ->
       match validate path with
-      | rows -> Printf.printf "%-28s ok (%d rows)\n" path rows
+      | rows, experiment ->
+          experiments := experiment :: !experiments;
+          Printf.printf "%-28s ok (%d rows)\n" path rows
       | exception Failure msg ->
           incr failures;
           Printf.printf "%-28s FAIL: %s\n" path msg)
     paths;
+  (* A full-ledger sweep (more than one path) must include the substrate
+     comparison: losing BENCH_auth.json from the glob should fail the build,
+     exactly like losing a required column from a row. *)
+  if List.length paths > 1 && not (List.mem "auth" !experiments) then begin
+    Printf.printf "ledger sweep FAIL: no experiment=\"auth\" ledger \
+                   (BENCH_auth.json) among the validated paths\n";
+    incr failures
+  end;
   if !failures > 0 then exit 1

@@ -47,6 +47,25 @@ let protocol_catalogue ~bits ~aa_rounds =
     ("approx-agreement", Workload.approx_agreement ~bits ~rounds:aa_rounds);
   ]
 
+(* The Pi_BA substrate seam: which BA backend the pi-z protocol family runs
+   its agreement sub-calls on. *)
+let ba_backends = [ "unauth"; "auth" ]
+
+let resolve_ba ba_name =
+  match ba_name with
+  | "unauth" -> `Unauth
+  | "auth" -> `Auth
+  | b ->
+      Printf.eprintf "error: unknown --ba backend %S; available: %s\n" b
+        (String.concat ", " ba_backends);
+      exit 2
+
+(* A fresh authenticated setup per protocol run: XMSS signers are stateful.
+   64 instances is a ~3x margin over the ~23 BA sub-calls a Pi_Z run opens. *)
+let auth_setup ~seed ~n ~t =
+  Auth.Setup.generate ~seed:(seed + 7919) ~n
+    ~capacity:(Auth.Auth_ba.required_capacity ~t ~instances:64)
+
 let workload_catalogue rng ~n ~bits =
   [
     ("sensors", fun () -> Workload.sensor_readings rng ~n ~base:(-1004) ~jitter:2);
@@ -101,8 +120,8 @@ let effective_domains requested =
 (* The run command                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_scenario n t protocol_name workload_name adversary_name attack_name bits
-    aa_rounds seed verbose domains_req telemetry_path =
+let run_scenario n t protocol_name workload_name adversary_name attack_name
+    ba_name bits aa_rounds seed verbose domains_req telemetry_path =
   if 3 * t >= n then begin
     Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
     exit 2
@@ -117,8 +136,20 @@ let run_scenario n t protocol_name workload_name adversary_name attack_name bits
           (String.concat ", " (List.map fst table));
         exit 2
   in
-  let protocol =
-    lookup "protocol" (protocol_catalogue ~bits ~aa_rounds) protocol_name
+  let ba = resolve_ba ba_name in
+  let protocol, setup =
+    match ba with
+    | `Unauth ->
+        (lookup "protocol" (protocol_catalogue ~bits ~aa_rounds) protocol_name, `Plain)
+    | `Auth ->
+        if not (String.equal protocol_name "pi-z") then begin
+          Printf.eprintf
+            "error: --ba auth applies to --protocol pi-z (the functorized \
+             Pi_BA seam); %S has no BA substrate\n"
+            protocol_name;
+          exit 2
+        end;
+        (Workload.pi_z_auth (auth_setup ~seed ~n ~t), `Authenticated)
   in
   let gen = lookup "workload" (workload_catalogue rng ~n ~bits) workload_name in
   let adversary = lookup "adversary" (adversary_catalogue ~seed) adversary_name in
@@ -142,6 +173,7 @@ let run_scenario n t protocol_name workload_name adversary_name attack_name bits
             ("workload", workload_name);
             ("adversary", adversary_name);
             ("attack", attack_name);
+            ("ba", ba_name);
             ("n", string_of_int n);
             ("t", string_of_int t);
             ("bits", string_of_int bits);
@@ -150,8 +182,8 @@ let run_scenario n t protocol_name workload_name adversary_name attack_name bits
       telemetry_path
   in
   let report =
-    Workload.run_int ?telemetry ~domains ~n ~t ~corrupt ~adversary ~inputs
-      protocol.Workload.run
+    Workload.run_int ?telemetry ~setup ~domains ~n ~t ~corrupt ~adversary
+      ~inputs protocol.Workload.run
   in
   (match (telemetry, telemetry_path) with
   | Some tm, Some path -> export_telemetry tm path
@@ -223,8 +255,8 @@ let trace_scenario n t protocol_name workload_name adversary_name attack_name bi
 (* The engine command                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let engine_scenario n t sessions spacing backend adversary_name attack_name bits
-    seed verbose domains_req telemetry_path =
+let engine_scenario n t sessions spacing backend adversary_name attack_name
+    ba_name bits seed verbose domains_req telemetry_path =
   if 3 * t >= n then begin
     Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
     exit 2
@@ -260,6 +292,10 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
           (String.concat ", " (List.map fst table));
         exit 2
   in
+  let ba = resolve_ba ba_name in
+  let session_setup =
+    match ba with `Unauth -> `Plain | `Auth -> `Authenticated
+  in
   let attack = lookup "attack" attack_catalogue attack_name in
   let corrupt =
     if unix then Array.make n false else Workload.spread_corrupt ~n ~t
@@ -272,6 +308,15 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
         Workload.apply_input_attack attack ~corrupt
           (Workload.clustered_bits rng ~n ~bits ~shared_prefix_bits:(bits / 2)))
   in
+  (* One protocol value per session: under --ba auth each session gets its
+     own fresh setup (XMSS signers are stateful, and sessions are
+     independent protocol runs). *)
+  let protos =
+    Array.init sessions (fun k ->
+        match ba with
+        | `Unauth -> Workload.pi_z
+        | `Auth -> Workload.pi_z_auth (auth_setup ~seed:(seed + (31 * k)) ~n ~t))
+  in
   let specs =
     List.init sessions (fun k ->
         let adversary =
@@ -279,8 +324,9 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
             (adversary_catalogue ~seed:(seed + (997 * k)))
             adversary_name
         in
-        Engine.session ~start_round:(k * spacing) ~adversary ~sid:k (fun ctx ->
-            Workload.pi_z.Workload.run ctx inputs.(k).(ctx.Ctx.me)))
+        Engine.session ~start_round:(k * spacing) ~adversary ~setup:session_setup
+          ~sid:k (fun ctx ->
+            protos.(k).Workload.run ctx inputs.(k).(ctx.Ctx.me)))
   in
   let telemetry =
     Option.map
@@ -290,6 +336,7 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
             ("backend", backend);
             ("adversary", adversary_name);
             ("attack", attack_name);
+            ("ba", ba_name);
             ("n", string_of_int n);
             ("t", string_of_int t);
             ("sessions", string_of_int sessions);
@@ -311,8 +358,7 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name bits
   Printf.printf
     "backend:   %s   (n=%d, t=%d, protocol=%s, adversary=%s, attack=%s, \
      seed=%d)\n"
-    backend n t Workload.pi_z.Workload.proto_name adversary_name attack_name
-    seed;
+    backend n t protos.(0).Workload.proto_name adversary_name attack_name seed;
   Printf.printf "sessions:  %d, spacing %d engine round(s) between arrivals\n\n"
     sessions spacing;
   Printf.printf "  sid  admit  retire  rounds  honest-bits  agree  valid\n";
@@ -428,7 +474,8 @@ let list_catalogues () =
   Printf.printf "workloads:  %s\n"
     (names (workload_catalogue (Prng.create 0) ~n:4 ~bits:64));
   Printf.printf "adversaries: %s\n" (names (adversary_catalogue ~seed:0));
-  Printf.printf "attacks:    %s\n" (names attack_catalogue)
+  Printf.printf "attacks:    %s\n" (names attack_catalogue);
+  Printf.printf "ba backends: %s\n" (String.concat ", " ba_backends)
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing                                                   *)
@@ -464,6 +511,17 @@ let attack_arg =
   Arg.(
     value & opt string "outlier-high"
     & info [ "attack" ] ~docv:"NAME" ~doc:"Byzantine input placement.")
+
+let ba_arg =
+  Arg.(
+    value & opt string "unauth"
+    & info [ "ba" ] ~docv:"BACKEND"
+        ~doc:
+          "BA substrate for the $(b,pi-z) protocol family: $(b,unauth) \
+           (phase king, plain model, t < n/3) or $(b,auth) (quorum \
+           certificates over the XMSS PKI; the agreement sub-calls tolerate \
+           t < n/2, while the surrounding CA machinery keeps its own t < n/3 \
+           requirement).")
 
 let bits_arg =
   Arg.(
@@ -509,12 +567,12 @@ let telemetry_file_arg =
     & info [ "telemetry" ] ~docv:"FILE"
         ~doc:"Record telemetry (spans, timelines, probes) and write it as JSONL.")
 
-let run_dispatch file n t protocol workload adversary attack bits aa_rounds seed
-    verbose domains telemetry =
+let run_dispatch file n t protocol workload adversary attack ba bits aa_rounds
+    seed verbose domains telemetry =
   match file with
   | None ->
-      run_scenario n t protocol workload adversary attack bits aa_rounds seed
-        verbose domains telemetry
+      run_scenario n t protocol workload adversary attack ba bits aa_rounds
+        seed verbose domains telemetry
   | Some path -> (
       match Scenario.load path with
       | Error msg ->
@@ -523,16 +581,16 @@ let run_dispatch file n t protocol workload adversary attack bits aa_rounds seed
       | Ok s ->
           run_scenario s.Scenario.n s.Scenario.t s.Scenario.protocol
             s.Scenario.workload s.Scenario.adversary s.Scenario.attack
-            s.Scenario.bits s.Scenario.aa_rounds s.Scenario.seed verbose domains
-            telemetry)
+            s.Scenario.ba s.Scenario.bits s.Scenario.aa_rounds s.Scenario.seed
+            verbose domains telemetry)
 
 let run_cmd =
   let doc = "run one Convex Agreement scenario in the simulator" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_dispatch $ file_arg $ n_arg $ t_arg $ protocol_arg $ workload_arg
-      $ adversary_arg $ attack_arg $ bits_arg $ aa_rounds_arg $ seed_arg
-      $ verbose_arg $ domains_arg $ telemetry_file_arg)
+      $ adversary_arg $ attack_arg $ ba_arg $ bits_arg $ aa_rounds_arg
+      $ seed_arg $ verbose_arg $ domains_arg $ telemetry_file_arg)
 
 let list_cmd =
   let doc = "list protocols, workloads, adversaries and input attacks" in
@@ -581,8 +639,8 @@ let engine_cmd =
   Cmd.v (Cmd.info "engine" ~doc)
     Term.(
       const engine_scenario $ n_arg $ t_arg $ sessions_arg $ spacing_arg
-      $ backend_arg $ adversary_arg $ attack_arg $ bits_arg $ seed_arg
-      $ verbose_arg $ domains_arg $ telemetry_file_arg)
+      $ backend_arg $ adversary_arg $ attack_arg $ ba_arg $ bits_arg
+      $ seed_arg $ verbose_arg $ domains_arg $ telemetry_file_arg)
 
 let top_arg =
   Arg.(

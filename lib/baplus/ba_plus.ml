@@ -50,7 +50,8 @@ let values_with_support ~decode ~threshold inbox =
   in
   List.sort String.compare (distinct_with_quorum [] !all)
 
-let run (ctx : Ctx.t) input =
+module Make (B : Ba.Substrate.S) = struct
+  let run (ctx : Ctx.t) input =
   let t = ctx.Ctx.t in
   let quorum = Ctx.quorum ctx in
   Proto.with_label "pi_ba_plus"
@@ -80,13 +81,16 @@ let run (ctx : Ctx.t) input =
        | v :: rest -> (Some v, Some (List.nth rest (List.length rest - 1)))
      in
      (* Step 4: try to agree on a. *)
-     let* a' = Ba.Phase_king.run_option ctx a in
+     let* a' = B.run_option ctx a in
      let happy_a = match (a, a') with Some x, Some y -> String.equal x y | _ -> false in
-     let* agreed_a = Ba.Phase_king.run_bit ctx happy_a in
+     let* agreed_a = B.run_bit ctx happy_a in
      if agreed_a then Proto.return a'
      else
        (* Step 5: try to agree on b. *)
-       let* b' = Ba.Phase_king.run_option ctx b in
+       let* b' = B.run_option ctx b in
        let happy_b = match (b, b') with Some x, Some y -> String.equal x y | _ -> false in
-       let* agreed_b = Ba.Phase_king.run_bit ctx happy_b in
+       let* agreed_b = B.run_bit ctx happy_b in
        if agreed_b then Proto.return b' else Proto.return None)
+end
+
+include Make (Ba.Substrate.Unauthenticated)

@@ -12,5 +12,13 @@
 
     The intended inputs are κ-bit hash digests, but any byte values work. *)
 
-val run : Net.Ctx.t -> string -> string option Net.Proto.t
-(** [run ctx v] joins Π_BA+ with input [v]; [None] is the paper's ⊥. *)
+module Make (B : Ba.Substrate.S) : sig
+  val run : Net.Ctx.t -> string -> string option Net.Proto.t
+  (** [run ctx v] joins Π_BA+ with input [v]; [None] is the paper's ⊥.  The
+      four inner agreement instances run on the substrate [B]. *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)

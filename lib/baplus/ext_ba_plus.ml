@@ -51,7 +51,10 @@ let harvest ~n ~z_star ~into inbox =
                 then Hashtbl.add into index (codeword, raw)))
       inbox
 
-let run (ctx : Ctx.t) input =
+module Make (B : Ba.Substrate.S) = struct
+  module BP = Ba_plus.Make (B)
+
+  let run (ctx : Ctx.t) input =
   let n = ctx.Ctx.n in
   let k = Ctx.quorum ctx in
   (* One memoized codec context per (n, k) serves every FINDPREFIX iteration
@@ -62,7 +65,7 @@ let run (ctx : Ctx.t) input =
   let tree = Merkle.build codewords in
   let z = Merkle.root tree in
   (* Step 2: agree on a root. *)
-  let* z_agreed = Ba_plus.run ctx z in
+  let* z_agreed = BP.run ctx z in
   match z_agreed with
   | None -> Proto.return None
   | Some z_star ->
@@ -111,3 +114,6 @@ let run (ctx : Ctx.t) input =
            match Reed_solomon.decode_with codec collected with
            | Ok value -> Proto.return (Some value)
            | Error _ -> Proto.return None)
+end
+
+include Make (Ba.Substrate.Unauthenticated)

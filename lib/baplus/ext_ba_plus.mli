@@ -13,8 +13,14 @@
     never sees a wrong share; Intrusion Tolerance of Π_BA+ guarantees the
     committed value is an honest input, so reconstruction is consistent. *)
 
-val run : Net.Ctx.t -> string -> string option Net.Proto.t
-(** [run ctx v] joins Π_ℓBA+ with input [v] (arbitrary bytes). Output [None]
-    is ⊥. All honest outputs are equal; a non-⊥ output is an honest input
-    (Intrusion Tolerance); ⊥ implies fewer than [n−2t] honest parties shared
-    an input (Bounded Pre-Agreement). *)
+module Make (B : Ba.Substrate.S) : sig
+  val run : Net.Ctx.t -> string -> string option Net.Proto.t
+  (** [run ctx v] joins Π_ℓBA+ with input [v] (arbitrary bytes). Output
+      [None] is ⊥. All honest outputs are equal; a non-⊥ output is an honest
+      input (Intrusion Tolerance); ⊥ implies fewer than [n−2t] honest parties
+      shared an input (Bounded Pre-Agreement).  The inner Π_BA+ runs on the
+      substrate [B]. *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated}. *)

@@ -7,10 +7,14 @@ open Net
 
 let ( let* ) = Proto.( let* )
 
-let run (ctx : Ctx.t) ~bits:len ~prefix_star v =
-  let i_star = Bitstring.length prefix_star in
-  if i_star >= len then invalid_arg "Add_last_bit.run: prefix already full";
-  if Bitstring.length v <> len then invalid_arg "Add_last_bit.run: value length";
-  Proto.with_label "add_last_bit"
-    (let* bit = Ba.Phase_king.run_bit ctx (Bitstring.get v (i_star + 1)) in
-     Proto.return (Bitstring.append_bit prefix_star bit))
+module Make (B : Ba.Substrate.S) = struct
+  let run (ctx : Ctx.t) ~bits:len ~prefix_star v =
+    let i_star = Bitstring.length prefix_star in
+    if i_star >= len then invalid_arg "Add_last_bit.run: prefix already full";
+    if Bitstring.length v <> len then invalid_arg "Add_last_bit.run: value length";
+    Proto.with_label "add_last_bit"
+      (let* bit = B.run_bit ctx (Bitstring.get v (i_star + 1)) in
+       Proto.return (Bitstring.append_bit prefix_star bit))
+end
+
+include Make (Ba.Substrate.Unauthenticated)

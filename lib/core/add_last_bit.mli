@@ -3,13 +3,22 @@
     binary domain the BA output is always an honest party's bit, so the
     extended prefix still prefixes some valid value. Cost: one bit-BA. *)
 
-val run :
-  Net.Ctx.t ->
-  bits:int ->
-  prefix_star:Bitstring.t ->
-  Bitstring.t ->
-  Bitstring.t Net.Proto.t
-(** [run ctx ~bits ~prefix_star v] returns [prefix_star] extended by the
-    agreed bit. Preconditions (Lemma 2): all honest parties share
-    [prefix_star] with [|prefix_star| < bits], and hold valid [bits]-bit
-    values [v] extending it. Raises [Invalid_argument] on length misuse. *)
+module Make (B : Ba.Substrate.S) : sig
+  val run :
+    Net.Ctx.t ->
+    bits:int ->
+    prefix_star:Bitstring.t ->
+    Bitstring.t ->
+    Bitstring.t Net.Proto.t
+  (** [run ctx ~bits ~prefix_star v] returns [prefix_star] extended by the
+      agreed bit. Preconditions (Lemma 2): all honest parties share
+      [prefix_star] with [|prefix_star| < bits], and hold valid [bits]-bit
+      values [v] extending it. Raises [Invalid_argument] on length misuse.
+      Requires a substrate [B] whose binary output is always an honest
+      party's bit (Lemma 2). *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)

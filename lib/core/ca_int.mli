@@ -7,6 +7,15 @@
     O(ℓn + κ·n²·log²n)·(1 + o(1)) and rounds O(n log n) — Corollary 2, up to
     the Π_BA substitution recorded in DESIGN.md. *)
 
-val run : Net.Ctx.t -> Bigint.t -> Bigint.t Net.Proto.t
-(** [run ctx v] joins Π_ℤ with input [v]; honest parties obtain a common
-    integer within their inputs' range (Definition 1). *)
+module Make (B : Ba.Substrate.S) : sig
+  val run : Net.Ctx.t -> Bigint.t -> Bigint.t Net.Proto.t
+  (** [run ctx v] joins Π_ℤ with input [v]; honest parties obtain a common
+      integer within their inputs' range (Definition 1).  [B] fills the
+      paper's Π_BA position throughout the stack (sign BA, length probes,
+      Π_BA+ roots, ADDLASTBIT, GETOUTPUT). *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)

@@ -19,12 +19,16 @@ let ceil_log2 x =
   let rec go acc p = if p >= x then acc else go (acc + 1) (2 * p) in
   go 0 1
 
-let run (ctx : Ctx.t) v_in =
+module Make (B : Ba.Substrate.S) = struct
+  module FL = Fixed_length_ca.Make (B)
+  module FLB = Fixed_length_ca_blocks.Make (B)
+
+  let run (ctx : Ctx.t) v_in =
   if Bigint.sign v_in < 0 then invalid_arg "Ca_nat.run: negative input";
   let n2 = ctx.Ctx.n * ctx.Ctx.n in
   let len = Bigint.bit_length v_in in
   (* Line 1: long or short regime? *)
-  let* long = Ba.Phase_king.run_bit ctx (len > n2) in
+  let* long = B.run_bit ctx (len > n2) in
   if not long then begin
     (* Short regime: cap overlong values (2^{n²}−1 is then in the honest
        range), probe ℓ_EST = 2^i, and run FIXEDLENGTHCA. *)
@@ -34,15 +38,15 @@ let run (ctx : Ctx.t) v_in =
         (* Unreachable: by iteration ⌈log₂ n²⌉ every honest party's value
            fits and Validity forces agreement on "fits". Stay total. *)
         let l_est = 1 lsl ceil_log2 n2 in
-        Fixed_length_ca.run ctx ~bits:l_est (Bigint.to_bitstring_fixed ~bits:l_est v)
+        FL.run ctx ~bits:l_est (Bigint.to_bitstring_fixed ~bits:l_est v)
       else
         let l_est = 1 lsl i in
-        let* fits = Ba.Phase_king.run_bit ctx (Bigint.bit_length v <= l_est) in
+        let* fits = B.run_bit ctx (Bigint.bit_length v <= l_est) in
         if fits then begin
           let v =
             if Bigint.bit_length v > l_est then Bigint.pred (Bigint.pow2 l_est) else v
           in
-          Fixed_length_ca.run ctx ~bits:l_est (Bigint.to_bitstring_fixed ~bits:l_est v)
+          FL.run ctx ~bits:l_est (Bigint.to_bitstring_fixed ~bits:l_est v)
         end
         else probe (i + 1) v
     in
@@ -64,7 +68,10 @@ let run (ctx : Ctx.t) v_in =
       if Bigint.bit_length v_in > l_est then Bigint.pred (Bigint.pow2 l_est) else v_in
     in
     let* out =
-      Fixed_length_ca_blocks.run ctx ~bits:l_est (Bigint.to_bitstring_fixed ~bits:l_est v)
+      FLB.run ctx ~bits:l_est (Bigint.to_bitstring_fixed ~bits:l_est v)
     in
     Proto.return (Bigint.of_bitstring out)
   end
+end
+
+include Make (Ba.Substrate.Unauthenticated)

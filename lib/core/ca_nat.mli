@@ -11,7 +11,14 @@ val blocksize_bits : int
 (** Wire width of the block-size values fed to HIGHCOSTCA (64; the paper
     allots O(log(ℓ/n²)) bits). *)
 
-val run : Net.Ctx.t -> Bigint.t -> Bigint.t Net.Proto.t
-(** [run ctx v] joins Π_ℕ with input [v >= 0]; the honest parties obtain a
-    common natural within their inputs' range. Raises [Invalid_argument] on
-    a negative input. *)
+module Make (B : Ba.Substrate.S) : sig
+  val run : Net.Ctx.t -> Bigint.t -> Bigint.t Net.Proto.t
+  (** [run ctx v] joins Π_ℕ with input [v >= 0]; the honest parties obtain a
+      common natural within their inputs' range. Raises [Invalid_argument]
+      on a negative input. *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)

@@ -37,7 +37,10 @@ let decode_window ~expect_bits raw =
   | Some bits when Bitstring.length bits = expect_bits -> Some bits
   | Some _ | None -> None
 
-let run (ctx : Ctx.t) ~bits:len v_in =
+module Make (B : Ba.Substrate.S) = struct
+  module Ext = Baplus.Ext_ba_plus.Make (B)
+
+  let run (ctx : Ctx.t) ~bits:len v_in =
   if Bitstring.length v_in <> len then invalid_arg "Find_prefix.run: input length";
   let rec loop ~left ~right ~prefix_star ~v ~v_bot ~iterations =
     (* Convergence probe: the party's current candidate value, once per
@@ -53,7 +56,7 @@ let run (ctx : Ctx.t) ~bits:len v_in =
     else begin
       let mid = (left + right) / 2 in
       let window = Bitstring.range v ~left ~right:mid in
-      let* outcome = Baplus.Ext_ba_plus.run ctx (encode_window window) in
+      let* outcome = Ext.run ctx (encode_window window) in
       match Option.map (decode_window ~expect_bits:(mid - left + 1)) outcome with
       | None | Some None ->
           (* ⊥ (or a non-window value, impossible for honest inputs but
@@ -74,3 +77,6 @@ let run (ctx : Ctx.t) ~bits:len v_in =
   Proto.with_label "find_prefix"
     (loop ~left:1 ~right:(len + 1) ~prefix_star:Bitstring.empty ~v:v_in ~v_bot:v_in
        ~iterations:0)
+end
+
+include Make (Ba.Substrate.Unauthenticated)

@@ -18,9 +18,17 @@ type result = {
   iterations : int;  (** diagnostic: Π_ℓBA+ invocations used *)
 }
 
-val run : Net.Ctx.t -> bits:int -> Bitstring.t -> result Net.Proto.t
-(** All honest parties must join with the same [bits] and a valid [bits]-bit
-    value. Raises [Invalid_argument] on a length mismatch. *)
+module Make (B : Ba.Substrate.S) : sig
+  val run : Net.Ctx.t -> bits:int -> Bitstring.t -> result Net.Proto.t
+  (** All honest parties must join with the same [bits] and a valid
+      [bits]-bit value. Raises [Invalid_argument] on a length mismatch.
+      The inner Π_ℓBA+ instances run on the substrate [B]. *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)
 
 (** {1 Window codecs (shared with the blocks variant)} *)
 

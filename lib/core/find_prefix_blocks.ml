@@ -17,7 +17,10 @@ type result = {
 
 let ( let* ) = Proto.( let* )
 
-let run (ctx : Ctx.t) ~bits:len v_in =
+module Make (B : Ba.Substrate.S) = struct
+  module Ext = Baplus.Ext_ba_plus.Make (B)
+
+  let run (ctx : Ctx.t) ~bits:len v_in =
   let n2 = ctx.Ctx.n * ctx.Ctx.n in
   if len mod n2 <> 0 || len = 0 then
     invalid_arg "Find_prefix_blocks.run: bits must be a positive multiple of n^2";
@@ -39,7 +42,7 @@ let run (ctx : Ctx.t) ~bits:len v_in =
     else begin
       let mid = (left + right) / 2 in
       let window = block_range v ~left ~right:mid in
-      let* outcome = Baplus.Ext_ba_plus.run ctx (Find_prefix.encode_window window) in
+      let* outcome = Ext.run ctx (Find_prefix.encode_window window) in
       let expect_bits = (mid - left + 1) * block_bits in
       match Option.map (Find_prefix.decode_window ~expect_bits) outcome with
       | None | Some None ->
@@ -59,3 +62,6 @@ let run (ctx : Ctx.t) ~bits:len v_in =
   Proto.with_label "find_prefix_blocks"
     (loop ~left:1 ~right:(n2 + 1) ~prefix_star:Bitstring.empty ~v:v_in ~v_bot:v_in
        ~iterations:0)
+end
+
+include Make (Ba.Substrate.Unauthenticated)

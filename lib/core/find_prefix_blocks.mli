@@ -12,7 +12,14 @@ type result = {
   iterations : int;
 }
 
-val run : Net.Ctx.t -> bits:int -> Bitstring.t -> result Net.Proto.t
-(** [bits] must be a positive multiple of n²; all honest parties join with
-    the same [bits] and valid [bits]-bit values. Guarantees as in
-    {!Find_prefix.run}, with "bit" read as "block". *)
+module Make (B : Ba.Substrate.S) : sig
+  val run : Net.Ctx.t -> bits:int -> Bitstring.t -> result Net.Proto.t
+  (** [bits] must be a positive multiple of n²; all honest parties join with
+      the same [bits] and valid [bits]-bit values. Guarantees as in
+      {!Find_prefix.run}, with "bit" read as "block". *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)

@@ -6,15 +6,23 @@ open Net
 
 let ( let* ) = Proto.( let* )
 
-(** [run ctx ~bits v] joins FIXEDLENGTHCA with the ℓ-bit value [v]
-    ([ℓ = bits]). All honest parties must join with the same [bits] and
-    valid [bits]-bit values; they obtain a common output in the honest
-    inputs' range. *)
-let run (ctx : Ctx.t) ~bits v =
-  let* { Find_prefix.prefix_star; v; v_bot; iterations = _ } =
-    Find_prefix.run ctx ~bits v
-  in
-  if Bitstring.length prefix_star = bits then Proto.return v
-  else
-    let* prefix_star = Add_last_bit.run ctx ~bits ~prefix_star v in
-    Get_output.run ctx ~bits ~prefix_star v_bot
+module Make (B : Ba.Substrate.S) = struct
+  module FP = Find_prefix.Make (B)
+  module ALB = Add_last_bit.Make (B)
+  module GO = Get_output.Make (B)
+
+  (** [run ctx ~bits v] joins FIXEDLENGTHCA with the ℓ-bit value [v]
+      ([ℓ = bits]). All honest parties must join with the same [bits] and
+      valid [bits]-bit values; they obtain a common output in the honest
+      inputs' range. *)
+  let run (ctx : Ctx.t) ~bits v =
+    let* { Find_prefix.prefix_star; v; v_bot; iterations = _ } =
+      FP.run ctx ~bits v
+    in
+    if Bitstring.length prefix_star = bits then Proto.return v
+    else
+      let* prefix_star = ALB.run ctx ~bits ~prefix_star v in
+      GO.run ctx ~bits ~prefix_star v_bot
+end
+
+include Make (Ba.Substrate.Unauthenticated)

@@ -8,6 +8,16 @@
     Communication O(ℓn + κ·n²·log n·log ℓ) + O(log ℓ)·BITS_κ(Π_BA); rounds
     O(log ℓ)·ROUNDS_κ(Π_BA). *)
 
-val run : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
-(** All honest parties must join with the same [bits] and valid [bits]-bit
-    values; they obtain a common output within the honest inputs' range. *)
+module Make (B : Ba.Substrate.S) : sig
+  val run : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
+  (** All honest parties must join with the same [bits] and valid [bits]-bit
+      values; they obtain a common output within the honest inputs' range.
+      Every Π_BA position runs on the substrate [B]; note the composite
+      protocol's counting arguments still require [t < n/3] regardless of
+      [B.max_t]. *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)

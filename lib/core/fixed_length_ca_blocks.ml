@@ -7,11 +7,18 @@ open Net
 
 let ( let* ) = Proto.( let* )
 
-let run (ctx : Ctx.t) ~bits v =
-  let* { Find_prefix_blocks.prefix_star; v; v_bot; iterations = _ } =
-    Find_prefix_blocks.run ctx ~bits v
-  in
-  if Bitstring.length prefix_star = bits then Proto.return v
-  else
-    let* prefix_star = Add_last_block.run ctx ~bits ~prefix_star v in
-    Get_output.run ctx ~bits ~prefix_star v_bot
+module Make (B : Ba.Substrate.S) = struct
+  module FPB = Find_prefix_blocks.Make (B)
+  module GO = Get_output.Make (B)
+
+  let run (ctx : Ctx.t) ~bits v =
+    let* { Find_prefix_blocks.prefix_star; v; v_bot; iterations = _ } =
+      FPB.run ctx ~bits v
+    in
+    if Bitstring.length prefix_star = bits then Proto.return v
+    else
+      let* prefix_star = Add_last_block.run ctx ~bits ~prefix_star v in
+      GO.run ctx ~bits ~prefix_star v_bot
+end
+
+include Make (Ba.Substrate.Unauthenticated)

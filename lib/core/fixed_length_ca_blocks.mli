@@ -5,6 +5,13 @@
     Communication O(ℓn + κ·n²·log²n) + O(log n)·BITS_κ(Π_BA); rounds
     O(n) + O(log n)·ROUNDS_κ(Π_BA). *)
 
-val run : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
-(** All honest parties must join with the same [bits] (a positive multiple
-    of n²) and valid [bits]-bit values. *)
+module Make (B : Ba.Substrate.S) : sig
+  val run : Net.Ctx.t -> bits:int -> Bitstring.t -> Bitstring.t Net.Proto.t
+  (** All honest parties must join with the same [bits] (a positive multiple
+      of n²) and valid [bits]-bit values. *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)

@@ -16,7 +16,8 @@ let ( let* ) = Proto.( let* )
 let decode_bit raw =
   match raw with "\000" -> Some false | "\001" -> Some true | _ -> None
 
-let run (ctx : Ctx.t) ~bits:len ~prefix_star v_bot =
+module Make (B : Ba.Substrate.S) = struct
+  let run (ctx : Ctx.t) ~bits:len ~prefix_star v_bot =
   if Bitstring.length prefix_star > len then invalid_arg "Get_output.run: prefix length";
   if Bitstring.length v_bot <> len then invalid_arg "Get_output.run: value length";
   let low = Bitstring.min_fill len prefix_star in
@@ -43,5 +44,8 @@ let run (ctx : Ctx.t) ~bits:len ~prefix_star v_bot =
              | None -> ()))
        inbox;
      let choice = !ones > !zeros in
-     let* take_max = Ba.Phase_king.run_bit ctx choice in
+     let* take_max = B.run_bit ctx choice in
      Proto.return (if take_max then high else low))
+end
+
+include Make (Ba.Substrate.Unauthenticated)

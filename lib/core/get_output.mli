@@ -9,12 +9,20 @@
 
     Cost: one announcement round (O(n²) bits) + one bit-BA. *)
 
-val run :
-  Net.Ctx.t ->
-  bits:int ->
-  prefix_star:Bitstring.t ->
-  Bitstring.t ->
-  Bitstring.t Net.Proto.t
-(** [run ctx ~bits ~prefix_star v_bot] returns the common valid output.
-    Preconditions (Lemma 3): all honest parties share [prefix_star], a prefix
-    of some valid value; t+1 honest parties' [v_bot] do not extend it. *)
+module Make (B : Ba.Substrate.S) : sig
+  val run :
+    Net.Ctx.t ->
+    bits:int ->
+    prefix_star:Bitstring.t ->
+    Bitstring.t ->
+    Bitstring.t Net.Proto.t
+  (** [run ctx ~bits ~prefix_star v_bot] returns the common valid output.
+      Preconditions (Lemma 3): all honest parties share [prefix_star], a
+      prefix of some valid value; t+1 honest parties' [v_bot] do not extend
+      it. *)
+end
+
+include module type of Make (Ba.Substrate.Unauthenticated)
+(** The default instantiation over {!Ba.Substrate.Unauthenticated} — the
+    historical hard-wired phase-king stack, bit-identical to the pre-seam
+    protocol. *)

@@ -17,10 +17,16 @@ type 'a spec = {
   start_round : int;
   protocol : Ctx.t -> 'a Proto.t;
   adversary : Adversary.t;
+  setup : [ `Plain | `Authenticated ];
 }
 
-let session ?(start_round = 0) ?(adversary = Adversary.passive) ~sid protocol =
-  { sid; start_round; protocol; adversary }
+let session ?(start_round = 0) ?(adversary = Adversary.passive)
+    ?(setup = `Plain) ~sid protocol =
+  { sid; start_round; protocol; adversary; setup }
+
+let ctx_maker = function
+  | `Plain -> Ctx.make
+  | `Authenticated -> Ctx.make_authenticated
 
 type 'a session_result = {
   r_sid : int;
@@ -304,7 +310,7 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
         in
         let labels = Array.make n [] in
         let states =
-          Array.init n (fun me -> spec.protocol (Ctx.make ~n ~t ~me))
+          Array.init n (fun me -> spec.protocol (ctx_maker spec.setup ~n ~t ~me))
         in
         Array.iteri
           (fun i s ->
@@ -735,10 +741,19 @@ let run_poll ?max_rounds ?domains ?trace ?telemetry ?outbuf ~n ~t ~corrupt
 
 let run_unix ?t ?telemetry ?domains ~n specs =
   validate_specs specs;
+  (* The socket mesh builds every session's contexts with one constructor;
+     a mix would silently run some sessions under the wrong bound check. *)
+  let setup =
+    match specs with
+    | [] -> `Plain
+    | s :: rest ->
+        if List.for_all (fun s' -> s'.setup = s.setup) rest then s.setup
+        else invalid_arg "Engine.run_unix: sessions mix `Plain and `Authenticated setups"
+  in
   let sessions =
     Array.of_list (List.map (fun s -> (s.sid, s.start_round, s.protocol)) specs)
   in
-  let outs, st = Net_unix.run_sessions ?t ?telemetry ?domains ~n sessions in
+  let outs, st = Net_unix.run_sessions ~setup ?t ?telemetry ?domains ~n sessions in
   let results =
     List.mapi
       (fun i spec ->

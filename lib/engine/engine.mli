@@ -31,16 +31,23 @@ type 'a spec = {
   adversary : Net.Adversary.t;
       (** Simulator backend only; supply a fresh instance per session —
           strategies carry PRNG state. Ignored by {!run_unix}. *)
+  setup : [ `Plain | `Authenticated ];
+      (** Which context constructor the session's parties get:
+          {!Net.Ctx.make} (t < n/3) or {!Net.Ctx.make_authenticated}
+          (t < n/2, for protocols on a cryptographic setup such as the
+          [Auth] library's). Per-session under [run_sim]/[run_poll];
+          {!run_unix} requires all sessions to agree. *)
 }
 
 val session :
   ?start_round:int ->
   ?adversary:Net.Adversary.t ->
+  ?setup:[ `Plain | `Authenticated ] ->
   sid:int ->
   (Net.Ctx.t -> 'a Net.Proto.t) ->
   'a spec
 (** Spec builder; [start_round] defaults to 0, [adversary] to
-    {!Net.Adversary.passive}. *)
+    {!Net.Adversary.passive}, [setup] to [`Plain]. *)
 
 type 'a session_result = {
   r_sid : int;

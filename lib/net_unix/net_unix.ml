@@ -259,7 +259,11 @@ let shutdown_party ~n fds me =
 
 (* ---- the single-session runner ------------------------------------------- *)
 
-let run ?t ?telemetry ~n protocol =
+let ctx_maker = function
+  | `Plain -> Net.Ctx.make
+  | `Authenticated -> Net.Ctx.make_authenticated
+
+let run ?(setup = `Plain) ?t ?telemetry ~n protocol =
   if n < 1 then invalid_arg "Net_unix.run: n < 1";
   ignore_sigpipe ();
   let t = match t with Some t -> t | None -> (n - 1) / 3 in
@@ -333,7 +337,7 @@ let run ?t ?telemetry ~n protocol =
           in
           go (k inbox) (round + 1)
     in
-    match go (protocol (Net.Ctx.make ~n ~t ~me)) 0 with
+    match go (protocol (ctx_maker setup ~n ~t ~me)) 0 with
     | v -> outputs.(me) <- Some v
     | exception e ->
         errors.(me) <- Some e;
@@ -368,7 +372,7 @@ type multi_stats = {
   mx_session_msgs : int array;
 }
 
-let run_sessions ?t ?telemetry ?(domains = 1) ~n sessions =
+let run_sessions ?(setup = `Plain) ?t ?telemetry ?(domains = 1) ~n sessions =
   if n < 1 then invalid_arg "Net_unix.run_sessions: n < 1";
   if domains < 1 then invalid_arg "Net_unix.run_sessions: domains < 1";
   (* Party threads are systhreads of the main domain; pool workers are real
@@ -461,7 +465,7 @@ let run_sessions ?t ?telemetry ?(domains = 1) ~n sessions =
         | idx :: rest when (let _, s, _ = sessions.(idx) in s <= !round) ->
             pending := rest;
             let sid, _, protocol = sessions.(idx) in
-            (match settle idx sid (protocol (Net.Ctx.make ~n ~t ~me)) with
+            (match settle idx sid (protocol (ctx_maker setup ~n ~t ~me)) with
             | Net.Proto.Done v ->
                 outputs.(idx).(me) <- Some v;
                 (match telemetry with

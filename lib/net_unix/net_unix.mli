@@ -44,6 +44,7 @@ val connect_with_retry :
     [Invalid_argument] if [attempts < 1]. *)
 
 val run :
+  ?setup:[ `Plain | `Authenticated ] ->
   ?t:int ->
   ?telemetry:Telemetry.t ->
   n:int ->
@@ -52,7 +53,8 @@ val run :
 (** [run ~n protocol] connects [n] parties over a socket mesh, runs
     [protocol ctx] on a thread per party, and returns their outputs in party
     order. [t] (default [(n-1)/3]) is the resilience parameter handed to the
-    contexts; no party actually misbehaves. [telemetry] attaches a recorder
+    contexts, and [setup] (default [`Plain]) selects their constructor —
+    [`Authenticated] admits t < n/2 for protocols on a cryptographic setup; no party actually misbehaves. [telemetry] attaches a recorder
     (session 0), using the same round conventions as [Net.Sim.run]: spans and
     probes are stamped with rounds completed, messages with the 1-based round
     they are sent in — so an honest simulator run and a socket run of the same
@@ -92,6 +94,7 @@ type multi_stats = {
 }
 
 val run_sessions :
+  ?setup:[ `Plain | `Authenticated ] ->
   ?t:int ->
   ?telemetry:Telemetry.t ->
   ?domains:int ->

@@ -5,6 +5,7 @@ type t = {
   workload : string;
   adversary : string;
   attack : string;
+  ba : string;
   bits : int;
   aa_rounds : int;
   seed : int;
@@ -18,6 +19,7 @@ let default =
     workload = "sensors";
     adversary = "equivocate";
     attack = "outlier-high";
+    ba = "unauth";
     bits = 64;
     aa_rounds = 8;
     seed = 1;
@@ -61,6 +63,9 @@ let apply acc ~line ~key ~value =
   | "attack" ->
       let* v = str () in
       Ok { acc with attack = v }
+  | "ba" ->
+      let* v = str () in
+      Ok { acc with ba = v }
   | other -> Error (Printf.sprintf "line %d: unknown key %S" line other)
 
 let parse contents =
@@ -104,6 +109,7 @@ let to_string s =
       Printf.sprintf "workload = %s" s.workload;
       Printf.sprintf "adversary = %s" s.adversary;
       Printf.sprintf "attack = %s" s.attack;
+      Printf.sprintf "ba = %s" s.ba;
       Printf.sprintf "bits = %d" s.bits;
       Printf.sprintf "aa_rounds = %d" s.aa_rounds;
       Printf.sprintf "seed = %d" s.seed;

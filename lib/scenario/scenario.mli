@@ -13,14 +13,15 @@ type t = {
   workload : string;
   adversary : string;
   attack : string;
+  ba : string;  (** BA substrate backend for the pi-z family: unauth | auth *)
   bits : int;
   aa_rounds : int;
   seed : int;
 }
 
 val default : t
-(** n = 7, t = 2, pi-z on sensors vs equivocate/outlier-high, bits = 64,
-    aa_rounds = 8, seed = 1. *)
+(** n = 7, t = 2, pi-z on sensors vs equivocate/outlier-high, ba = unauth,
+    bits = 64, aa_rounds = 8, seed = 1. *)
 
 val parse : string -> (t, string) result
 (** Parse file contents (not a path). Starts from {!default}; every

@@ -1,0 +1,35 @@
+(** The shared signature-scheme module type unifying {!Lamport} and {!Xmss}
+    (via their [Scheme] submodules), so that authenticated protocols can be
+    functorized over the scheme instead of hard-coding XMSS —
+    {!Auth.Auth_ba.Make} is the first such consumer. *)
+
+module type S = sig
+  type signer
+  (** May be stateful: one-time and few-time schemes count keys down. *)
+
+  type signature
+
+  val name : string
+
+  val generate : Net.Prng.t -> capacity:int -> signer * string
+  (** [generate rng ~capacity] returns a signer good for [capacity]
+      signatures and its public key (always a string, PKI-friendly).
+      Deterministic in the PRNG state.  Raises [Invalid_argument] if the
+      scheme cannot honor [capacity] (e.g. one-time Lamport with
+      [capacity <> 1]). *)
+
+  val remaining : signer -> int
+
+  val sign : signer -> string -> signature
+  (** Raises [Failure] once the signer is exhausted. *)
+
+  val verify : public:string -> msg:string -> signature -> bool
+  (** Total on arbitrary (adversarial) signatures. *)
+
+  val signature_bytes : int
+  (** Nominal encoded signature size in bytes (an upper bound for
+      variable-width encodings) — the cost model backends quote. *)
+
+  val encode_signature : signature -> string
+  val decode_signature : string -> signature option
+end

@@ -80,3 +80,27 @@ let decode_signature raw =
       let* ots_signature = Lamport.decode_signature ots_raw in
       Some { index; ots_public; witness; ots_signature })
     raw
+
+(* Upper bound on the encoded size, for capacities up to 2^20 one-time keys:
+   the Lamport payload with its length prefix, the 32-byte OTS public digest,
+   a ≤ 3-byte varint index, and a ≤ 20-level authentication path at 32 bytes
+   + framing per level.  The true size varies with capacity and index (the
+   witness depth is ⌈log₂ capacity⌉); this constant is what the cost model
+   quotes. *)
+let signature_bytes = Lamport.signature_bytes + 3 + 32 + 2 + 3 + (20 * 34) + 8
+
+(** {1 Scheme conformance} *)
+
+module Scheme = struct
+  type nonrec signer = signer
+  type nonrec signature = signature
+
+  let name = "xmss"
+  let generate = generate
+  let remaining = remaining
+  let sign = sign
+  let verify = verify
+  let signature_bytes = signature_bytes
+  let encode_signature = encode_signature
+  let decode_signature = decode_signature
+end

@@ -26,3 +26,13 @@ val verify : public:public -> msg:string -> signature -> bool
 
 val encode_signature : signature -> string
 val decode_signature : string -> signature option
+
+val signature_bytes : int
+(** Upper bound on the encoded signature size for capacities up to 2^20
+    one-time keys (the true size varies with capacity and index; see the
+    implementation for the breakdown).  This is the figure the authenticated
+    backends' cost model quotes. *)
+
+module Scheme : Scheme.S with type signer = signer and type signature = signature
+(** {!Scheme.S} view of the scheme — the backing for scheme-generic
+    authenticated protocols ({!Auth.Auth_ba.Make}). *)

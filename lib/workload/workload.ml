@@ -140,10 +140,10 @@ let spread_corrupt ~n ~t =
 (** [run_int] executes a protocol of type Π_ℤ (Bigint in, Bigint out) and
     checks Definition 1 against the honest inputs. *)
 let run_int ?(max_rounds = Sim.default_max_rounds) ?trace ?telemetry ?domains
-    ~n ~t ~corrupt ~adversary ~inputs protocol =
+    ?setup ~n ~t ~corrupt ~adversary ~inputs protocol =
   let outcome =
-    Sim.run ~max_rounds ?trace ?telemetry ?domains ~n ~t ~corrupt ~adversary
-      (fun ctx -> protocol ctx inputs.(ctx.Ctx.me))
+    Sim.run ~max_rounds ?trace ?telemetry ?domains ?setup ~n ~t ~corrupt
+      ~adversary (fun ctx -> protocol ctx inputs.(ctx.Ctx.me))
   in
   let outputs = Sim.honest_outputs ~corrupt outcome in
   let honest_inputs =
@@ -174,6 +174,22 @@ type protocol = {
 }
 
 let pi_z = { proto_name = "Pi_Z (this paper)"; run = Convex.agree_int; solves_ca = true }
+
+(* Π_ℤ with its BA sub-calls routed through the authenticated t < n/2
+   substrate. The substrate (and its instance counter) is created inside the
+   per-party closure so every party's BA instance tags advance in lockstep;
+   the CA machinery around the seam keeps its own t < n/3 requirement. Run
+   under [~setup:`Authenticated] with a [setup] fresh for this run. *)
+let pi_z_auth setup =
+  {
+    proto_name = "Pi_Z over auth-quorum BA (t<n/3; authenticated sub-calls)";
+    run =
+      (fun ctx v ->
+        let module B = (val Auth.Auth_ba.substrate setup) in
+        let module CA = Convex.Ca_int.Make (B) in
+        CA.run ctx v);
+    solves_ca = true;
+  }
 
 (* Fixed-width adapters: these comparators need a public bit-length; the
    caller supplies one large enough for every honest input. Out-of-range

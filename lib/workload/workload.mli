@@ -63,6 +63,7 @@ val run_int :
   ?trace:Net.Trace.t ->
   ?telemetry:Telemetry.t ->
   ?domains:int ->
+  ?setup:[ `Plain | `Authenticated ] ->
   n:int ->
   t:int ->
   corrupt:bool array ->
@@ -70,8 +71,9 @@ val run_int :
   inputs:Bigint.t array ->
   (Net.Ctx.t -> Bigint.t -> Bigint.t Net.Proto.t) ->
   report
-(** [trace], [telemetry] and [domains] are handed to the underlying
-    {!Net.Sim.run}. *)
+(** [trace], [telemetry], [domains] and [setup] are handed to the underlying
+    {!Net.Sim.run}; [setup] (default [`Plain]) must be [`Authenticated] for
+    protocols built on a cryptographic setup ({!pi_z_auth}). *)
 
 (** {1 Experiment-cell fan-out} *)
 
@@ -99,6 +101,17 @@ type protocol = {
 
 val pi_z : protocol
 (** Π_ℤ — this paper. *)
+
+val pi_z_auth : Auth.Setup.t -> protocol
+(** Π_ℤ with its BA sub-calls routed through the authenticated t < n/2
+    quorum-certificate substrate ({!Auth.Auth_ba.substrate}) instead of
+    phase king. The surrounding CA machinery keeps its own t < n/3 counting
+    arguments, so the composite's resilience is still t < n/3 — this is the
+    seam demonstrator, not a resilience upgrade (native t < n/2 CA is
+    [Auth.Auth_ba.Xmss.agree]). Supply a {!Auth.Setup.t} fresh for this run
+    (signers are stateful) with capacity ≥
+    [Auth.Auth_ba.required_capacity ~t ~instances:64], and pass
+    [~setup:`Authenticated] to {!run_int}. *)
 
 val high_cost_ca : bits:int -> protocol
 val broadcast_ca : bits:int -> protocol
