@@ -8,7 +8,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build fmt test check bench bench-smoke soak-smoke validate-bench clean
+.PHONY: all build fmt test check bench bench-smoke soak-smoke obs-smoke soak-long validate-bench clean
 
 all: build
 
@@ -42,8 +42,26 @@ validate-bench:
 soak-smoke:
 	$(DUNE) exec bin/soak.exe -- --smoke
 
-check: build fmt test bench-smoke soak-smoke validate-bench
+# Observability round-trip on a real K=8 poll-backend run: export the
+# registry JSONL (full + deterministic tier), the sampler time series and
+# the Chrome trace, then schema-validate all four with `ca_cli obs --check`.
+obs-smoke:
+	rm -rf /tmp/ca-obs-smoke
+	$(DUNE) exec bin/ca_cli.exe -- engine --backend poll --sessions 8 \
+		--spacing 2 -n 7 -t 2 --adversary equivocate --obs-dir /tmp/ca-obs-smoke
+	$(DUNE) exec bin/ca_cli.exe -- obs --check /tmp/ca-obs-smoke
+
+check: build fmt test bench-smoke soak-smoke obs-smoke validate-bench
 	@echo "[check] tier-1 gate passed"
+
+# Long soak: >= 30 min of the duration-based poll soak with per-wave obs
+# health snapshots, a live stats socket (read it any time with
+# `ca_cli obs --socket /tmp/ca-soak.sock`), and a hard peak-RSS ceiling
+# asserted after every wave. Not part of `check` — run it before releases
+# or when hunting leaks.
+soak-long:
+	$(DUNE) exec --profile release bin/soak.exe -- --duration 1800 \
+		--backend poll --max-rss-mb 2048 --obs-socket /tmp/ca-soak.sock
 
 # Full benchmark run, built with the optimizing release profile (see the
 # root dune file); regenerates the BENCH_*.json ledgers.

@@ -294,6 +294,41 @@ let check_auth_ledger rows =
              n))
     unauth
 
+(* The obs experiment's single row carries the observability-plane
+   acceptance data: the overhead measurement backing the <= 10% gate and the
+   two identity flags (Det-tier export byte-identical across backends,
+   frame histogram sum equal to the aggregate ledger). *)
+let check_obs_row i row =
+  let field key =
+    match List.assoc_opt key row with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "rows[%d] has no %S key" i key)
+  in
+  List.iter
+    (fun key ->
+      match field key with
+      | Num v when v > 0. -> ()
+      | _ -> failwith (Printf.sprintf "rows[%d].%s is not positive" i key))
+    [ "bare_s"; "obs_s" ];
+  (match field "overhead_pct" with
+  | Num _ -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].overhead_pct is not a number" i));
+  List.iter
+    (fun key ->
+      match field key with
+      | Num v when v >= 1. && Float.is_integer v -> ()
+      | _ -> failwith (Printf.sprintf "rows[%d].%s is not an integer >= 1" i key))
+    [ "engine_rounds"; "det_jsonl_bytes"; "trace_bytes"; "trace_events" ];
+  List.iter
+    (fun key ->
+      match field key with
+      | Bool true -> ()
+      | Bool false ->
+          failwith
+            (Printf.sprintf "rows[%d].%s is false: obs determinism broken" i key)
+      | _ -> failwith (Printf.sprintf "rows[%d].%s is not a boolean" i key))
+    [ "det_identical"; "hist_ledger_equal" ]
+
 let check_engine_ledger rows =
   let poll_sessions =
     List.filter_map
@@ -339,7 +374,8 @@ let validate path =
               | Obj ((_ :: _) as fields) ->
                   if experiment = "parallel" then check_parallel_row i fields;
                   if experiment = "engine" then check_engine_row i fields;
-                  if experiment = "auth" then check_auth_row i fields
+                  if experiment = "auth" then check_auth_row i fields;
+                  if experiment = "obs" then check_obs_row i fields
               | Obj [] -> failwith (Printf.sprintf "rows[%d] is empty" i)
               | _ -> failwith (Printf.sprintf "rows[%d] is not an object" i))
             rows;
@@ -369,11 +405,18 @@ let () =
           Printf.printf "%-28s FAIL: %s\n" path msg)
     paths;
   (* A full-ledger sweep (more than one path) must include the substrate
-     comparison: losing BENCH_auth.json from the glob should fail the build,
-     exactly like losing a required column from a row. *)
-  if List.length paths > 1 && not (List.mem "auth" !experiments) then begin
-    Printf.printf "ledger sweep FAIL: no experiment=\"auth\" ledger \
-                   (BENCH_auth.json) among the validated paths\n";
-    incr failures
-  end;
+     comparison and the observability-plane ledger: losing BENCH_auth.json
+     or BENCH_obs.json from the glob should fail the build, exactly like
+     losing a required column from a row. *)
+  List.iter
+    (fun (experiment, ledger) ->
+      if List.length paths > 1 && not (List.mem experiment !experiments)
+      then begin
+        Printf.printf
+          "ledger sweep FAIL: no experiment=%S ledger (%s) among the \
+           validated paths\n"
+          experiment ledger;
+        incr failures
+      end)
+    [ ("auth", "BENCH_auth.json"); ("obs", "BENCH_obs.json") ];
   if !failures > 0 then exit 1

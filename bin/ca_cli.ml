@@ -256,7 +256,7 @@ let trace_scenario n t protocol_name workload_name adversary_name attack_name bi
 (* ------------------------------------------------------------------ *)
 
 let engine_scenario n t sessions spacing backend adversary_name attack_name
-    ba_name bits seed verbose domains_req telemetry_path =
+    ba_name bits seed verbose domains_req telemetry_path obs_dir obs_socket =
   if 3 * t >= n then begin
     Printf.eprintf "error: resilience requires t < n/3 (got n=%d, t=%d)\n" n t;
     exit 2
@@ -277,6 +277,18 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name
         b;
       exit 2);
   let unix = String.equal backend "unix" in
+  if unix && (obs_dir <> None || obs_socket <> None) then begin
+    Printf.eprintf
+      "error: the unix backend has no observability hooks; --obs-dir and \
+       --obs-socket require --backend sim or --backend poll\n";
+    exit 2
+  end;
+  if obs_socket <> None && not (String.equal backend "poll") then begin
+    Printf.eprintf
+      "error: --obs-socket serves the live stats endpoint from inside the \
+       poll loop; it requires --backend poll\n";
+    exit 2
+  end;
   if unix && not (String.equal adversary_name "passive") then begin
     Printf.eprintf
       "error: the unix backend runs honest executions only; byzantine \
@@ -328,33 +340,78 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name
           ~sid:k (fun ctx ->
             protos.(k).Workload.run ctx inputs.(k).(ctx.Ctx.me)))
   in
+  (* The chrome trace renders from telemetry span trees, so --obs-dir forces
+     a recorder even when no telemetry JSONL was requested. *)
   let telemetry =
+    if telemetry_path = None && obs_dir = None then None
+    else
+      Some
+        (make_recorder ~command:"engine"
+           [
+             ("backend", backend);
+             ("adversary", adversary_name);
+             ("attack", attack_name);
+             ("ba", ba_name);
+             ("n", string_of_int n);
+             ("t", string_of_int t);
+             ("sessions", string_of_int sessions);
+             ("spacing", string_of_int spacing);
+             ("bits", string_of_int bits);
+             ("seed", string_of_int seed);
+           ])
+  in
+  let obs =
+    if obs_dir = None && obs_socket = None then None else Some (Obs.create ())
+  in
+  let sampler = Option.map (fun _ -> Obs.Sampler.create ()) obs_dir in
+  let endpoint =
     Option.map
-      (fun _ ->
-        make_recorder ~command:"engine"
-          [
-            ("backend", backend);
-            ("adversary", adversary_name);
-            ("attack", attack_name);
-            ("ba", ba_name);
-            ("n", string_of_int n);
-            ("t", string_of_int t);
-            ("sessions", string_of_int sessions);
-            ("spacing", string_of_int spacing);
-            ("bits", string_of_int bits);
-            ("seed", string_of_int seed);
-          ])
-      telemetry_path
+      (fun path ->
+        let o = Option.get obs in
+        Obs.Endpoint.create ~path ~render:(fun () -> Obs.render_text o))
+      obs_socket
+  in
+  let control =
+    Option.map
+      (fun ep -> (Obs.Endpoint.fd ep, fun () -> Obs.Endpoint.service ep))
+      endpoint
   in
   let outcome =
-    match backend with
-    | "unix" -> Engine.run_unix ?telemetry ~domains ~t ~n specs
-    | "poll" -> Engine.run_poll ?telemetry ~domains ~n ~t ~corrupt specs
-    | _ -> Engine.run_sim ?telemetry ~domains ~n ~t ~corrupt specs
+    Fun.protect
+      ~finally:(fun () -> Option.iter Obs.Endpoint.close endpoint)
+      (fun () ->
+        match backend with
+        | "unix" -> Engine.run_unix ?telemetry ~domains ~t ~n specs
+        | "poll" ->
+            Engine.run_poll ?telemetry ?obs ?sampler ?control ~domains ~n ~t
+              ~corrupt specs
+        | _ -> Engine.run_sim ?telemetry ?obs ?sampler ~domains ~n ~t ~corrupt specs)
   in
   (match (telemetry, telemetry_path) with
   | Some tm, Some path -> export_telemetry tm path
   | _ -> ());
+  (match obs_dir with
+  | Some dir ->
+      let o = Option.get obs and smp = Option.get sampler in
+      (* Closing sample, so even zero-spacing smoke runs export a series. *)
+      Obs.Sampler.record smp
+        ~round:outcome.Engine.aggregate.Engine.engine_rounds ~live:0 ();
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      write_file (Filename.concat dir "obs.jsonl") (Obs.to_jsonl o);
+      write_file
+        (Filename.concat dir "obs_det.jsonl")
+        (Obs.to_jsonl ~tier:Obs.Det o);
+      write_file (Filename.concat dir "sampler.jsonl") (Obs.Sampler.to_jsonl smp);
+      (match telemetry with
+      | Some tm ->
+          write_file (Filename.concat dir "trace.json") (Obs.Trace.chrome_trace tm)
+      | None -> ());
+      Printf.printf
+        "obs:             wrote obs.jsonl, obs_det.jsonl, sampler.jsonl, \
+         trace.json under %s\n"
+        dir
+  | None -> ());
   Printf.printf
     "backend:   %s   (n=%d, t=%d, protocol=%s, adversary=%s, attack=%s, \
      seed=%d)\n"
@@ -463,6 +520,54 @@ let telemetry_scenario n t protocol_name workload_name adversary_name
       write_file path (Telemetry.to_jsonl tm);
       Printf.printf "\nwrote JSONL to %s\n" path
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The obs command                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Client side of the observability plane: fetch a live plain-text stats
+   dump from a running engine/soak (--socket), or schema-check the artifact
+   set an --obs-dir run exported (--check) — what the obs-smoke make target
+   drives. *)
+let obs_client socket check =
+  match (socket, check) with
+  | Some path, None -> (
+      match Obs.Endpoint.fetch ~path with
+      | Ok body ->
+          print_string body;
+          if String.length body = 0 || body.[String.length body - 1] <> '\n'
+          then print_newline ()
+      | Error msg ->
+          Printf.eprintf "error: fetching %s: %s\n" path msg;
+          exit 1)
+  | None, Some dir ->
+      let read_file path =
+        match open_in_bin path with
+        | exception Sys_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+        | ic ->
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+      in
+      let check_file name validate what =
+        let path = Filename.concat dir name in
+        match validate (read_file path) with
+        | Ok count -> Printf.printf "%-14s ok: %d %s\n" name count what
+        | Error msg ->
+            Printf.eprintf "error: %s: %s\n" path msg;
+            exit 1
+      in
+      check_file "obs.jsonl" Obs.Check.registry_jsonl "instrument lines";
+      check_file "obs_det.jsonl" Obs.Check.registry_jsonl "instrument lines";
+      check_file "sampler.jsonl" Obs.Check.sampler_jsonl "lines";
+      check_file "trace.json" Obs.Check.chrome_trace "trace events"
+  | _ ->
+      Printf.eprintf
+        "error: obs takes exactly one of --socket PATH (live dump) or --check \
+         DIR (validate exported artifacts)\n";
+      exit 2
 
 (* ------------------------------------------------------------------ *)
 (* The list command                                                    *)
@@ -634,13 +739,58 @@ let backend_arg =
            nonblocking sockets, supports adversaries, bit-identical to \
            $(b,sim)).")
 
+let obs_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-dir" ] ~docv:"DIR"
+        ~doc:
+          "Attach the observability plane and export its artifacts under \
+           $(docv): $(b,obs.jsonl) (all instruments), $(b,obs_det.jsonl) \
+           (deterministic tier only — byte-identical across sim/poll and \
+           domain counts), $(b,sampler.jsonl) (GC/RSS/poll time series) and \
+           $(b,trace.json) (Chrome trace_event timeline for \
+           chrome://tracing or Perfetto). sim and poll backends only.")
+
+let obs_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "obs-socket" ] ~docv:"PATH"
+        ~doc:
+          "Serve a live plain-text stats dump on a Unix-domain socket at \
+           $(docv), polled from inside the event loop ($(b,poll) backend \
+           only). Read it with $(b,ca_cli obs --socket) $(docv).")
+
 let engine_cmd =
   let doc = "multiplex many concurrent CA sessions over one transport" in
   Cmd.v (Cmd.info "engine" ~doc)
     Term.(
       const engine_scenario $ n_arg $ t_arg $ sessions_arg $ spacing_arg
       $ backend_arg $ adversary_arg $ attack_arg $ ba_arg $ bits_arg
-      $ seed_arg $ verbose_arg $ domains_arg $ telemetry_file_arg)
+      $ seed_arg $ verbose_arg $ domains_arg $ telemetry_file_arg
+      $ obs_dir_arg $ obs_socket_arg)
+
+let obs_fetch_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Fetch a live stats dump from the endpoint at $(docv).")
+
+let obs_check_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "check" ] ~docv:"DIR"
+        ~doc:
+          "Schema-check the obs artifacts exported under $(docv) by a \
+           previous $(b,engine --obs-dir) run.")
+
+let obs_cmd =
+  let doc = "read or validate the runtime observability plane" in
+  Cmd.v (Cmd.info "obs" ~doc)
+    Term.(const obs_client $ obs_fetch_socket_arg $ obs_check_arg)
 
 let top_arg =
   Arg.(
@@ -669,4 +819,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "convex-agreement" ~doc)
-          [ run_cmd; trace_cmd; engine_cmd; telemetry_cmd; list_cmd ]))
+          [ run_cmd; trace_cmd; engine_cmd; telemetry_cmd; obs_cmd; list_cmd ]))

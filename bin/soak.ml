@@ -24,6 +24,9 @@ type cfg = {
   max_sessions : int;
   max_rss_mb : int;
   telemetry_every : int;
+  obs_socket : string option;
+      (* live stats endpoint path; served from inside the poll loop while a
+         wave runs and between waves otherwise *)
 }
 
 let default_cfg =
@@ -34,22 +37,27 @@ let default_cfg =
     max_sessions = 48;
     max_rss_mb = 2048;
     telemetry_every = 5;
+    obs_socket = None;
   }
 
 let usage oc =
   output_string oc
     "usage: soak [--duration SECS] [--smoke] [--backend sim|poll] [--seed N]\n\
-    \            [--sessions K] [--max-rss-mb MB] [--telemetry-every N]\n\n\
+    \            [--sessions K] [--max-rss-mb MB] [--telemetry-every N]\n\
+    \            [--obs-socket PATH]\n\n\
      Duration-bounded engine soak: mixed workloads, staggered admission and\n\
      retirement, Definition 1 checked per session, telemetry sampled (not\n\
-     stored), peak RSS asserted after every wave.\n\n\
+     stored), an obs health snapshot printed per wave, peak RSS asserted\n\
+     after every wave.\n\n\
     \  --duration SECS      wall-clock budget (default 60)\n\
     \  --smoke              ~10 s run for CI (duration 8, smaller waves)\n\
     \  --backend NAME       sim | poll (default poll)\n\
     \  --seed N             master seed (default 1)\n\
     \  --sessions K         max sessions per wave (default 48)\n\
     \  --max-rss-mb MB      peak-RSS ceiling (default 2048)\n\
-    \  --telemetry-every N  sample telemetry every Nth wave (default 5)\n"
+    \  --telemetry-every N  sample telemetry every Nth wave (default 5)\n\
+    \  --obs-socket PATH    serve the live stats dump on a Unix socket at\n\
+    \                       PATH (read it with ca_cli obs --socket PATH)\n"
 
 let bad fmt =
   Printf.ksprintf
@@ -80,6 +88,7 @@ let rec parse cfg = function
       parse { cfg with max_rss_mb = parse_int "--max-rss-mb" v } rest
   | "--telemetry-every" :: v :: rest ->
       parse { cfg with telemetry_every = parse_int "--telemetry-every" v } rest
+  | "--obs-socket" :: v :: rest -> parse { cfg with obs_socket = Some v } rest
   | ("--help" | "-h") :: _ ->
       usage stdout;
       exit 0
@@ -87,7 +96,7 @@ let rec parse cfg = function
     when List.mem flag
            [
              "--duration"; "--backend"; "--seed"; "--sessions"; "--max-rss-mb";
-             "--telemetry-every";
+             "--telemetry-every"; "--obs-socket";
            ] -> bad "%s expects a value" flag
   | arg :: _ -> bad "unknown argument %S" arg
 
@@ -174,7 +183,7 @@ let draw_session ~corrupt ~n ~seed =
   in
   (inputs, proto, adversary, describe)
 
-let wave ~cfg ~idx =
+let wave ~cfg ~obs ~sampler ~control ~idx =
   let seed = (cfg.seed * 1_000_003) + idx in
   let rng = Prng.create seed in
   let n = 4 + Prng.int rng 4 in
@@ -206,8 +215,9 @@ let wave ~cfg ~idx =
   let mw0 = Gc.minor_words () in
   match
     match cfg.backend with
-    | "poll" -> Engine.run_poll ?telemetry ~n ~t ~corrupt specs
-    | _ -> Engine.run_sim ?telemetry ~n ~t ~corrupt specs
+    | "poll" ->
+        Engine.run_poll ?telemetry ~obs ~sampler ?control ~n ~t ~corrupt specs
+    | _ -> Engine.run_sim ?telemetry ~obs ~sampler ~n ~t ~corrupt specs
   with
   | exception e ->
       {
@@ -277,6 +287,30 @@ let () =
       Printf.eprintf "error: unknown backend %S; available: sim, poll\n" b;
       exit 2);
   let rss_ceiling = cfg.max_rss_mb * 1024 * 1024 in
+  (* One observability plane for the whole soak: instruments accumulate
+     across waves (the interesting distributions are long-run ones), the
+     sampler ring keeps the most recent snapshots, and the optional endpoint
+     serves the dump mid-wave (from inside the poll loop) or between waves. *)
+  let obs = Obs.create () in
+  let sampler = Obs.Sampler.create () in
+  let frame_h = Obs.hist obs ~tier:Obs.Det "engine/frame_bytes" in
+  let wall_h = Obs.hist obs ~tier:Obs.Sampled "engine/round_wall_ns" in
+  let endpoint =
+    Option.map
+      (fun path ->
+        let ep =
+          Obs.Endpoint.create ~path ~render:(fun () -> Obs.render_text obs)
+        in
+        Printf.printf "soak: live stats on %s (ca_cli obs --socket %s)\n%!" path
+          path;
+        ep)
+      cfg.obs_socket
+  in
+  let control =
+    Option.map
+      (fun ep -> (Obs.Endpoint.fd ep, fun () -> Obs.Endpoint.service ep))
+      endpoint
+  in
   let t0 = Unix.gettimeofday () in
   let waves = ref 0 in
   let total_sessions = ref 0 in
@@ -300,7 +334,7 @@ let () =
     (not !rss_breached)
     && (!waves = 0 || Unix.gettimeofday () -. t0 < cfg.duration)
   do
-    let r = wave ~cfg ~idx:!waves in
+    let r = wave ~cfg ~obs ~sampler ~control ~idx:!waves in
     incr waves;
     total_sessions := !total_sessions + r.w_sessions;
     total_rounds := !total_rounds + r.w_rounds;
@@ -328,6 +362,20 @@ let () =
           (peak / (1024 * 1024))
           cfg.max_rss_mb
     | Some _ | None -> ());
+    (* Per-wave health snapshot: one sampler tick plus a line of cumulative
+       obs distributions — the same numbers the live endpoint serves. *)
+    Obs.Sampler.record sampler ~round:!total_rounds ();
+    Option.iter Obs.Endpoint.service endpoint;
+    Printf.printf
+      "  wave %d health: rounds=%d frames=%d frame-p99=%dB round-p99=%.2fms \
+       rss=%s\n\
+       %!"
+      (!waves - 1) !total_rounds (Obs.Hist.count frame_h)
+      (Obs.Hist.quantile frame_h 0.99)
+      (float_of_int (Obs.Hist.quantile wall_h 0.99) /. 1e6)
+      (match Net_poll.rss_bytes () with
+      | Some b -> Printf.sprintf "%dMB" (b / (1024 * 1024))
+      | None -> "n/a");
     if !waves mod 10 = 0 then
       Printf.printf
         "  ... %d waves, %d sessions, %d failures, rss=%s, %.1fs\n%!" !waves
@@ -342,11 +390,21 @@ let () =
      failures in %.1fs\n"
     !waves !total_sessions !total_rounds !total_saved !failures
     (Unix.gettimeofday () -. t0);
+  Option.iter Obs.Endpoint.close endpoint;
   Printf.printf "      telemetry sampled on %d waves (%d bytes, dropped)%s\n"
     !sampled_waves !sampled_bytes
     (match Net_poll.rss_peak_bytes () with
     | Some b -> Printf.sprintf "; peak rss %d MB" (b / (1024 * 1024))
     | None -> "");
+  Printf.printf
+    "      obs: %d frames (p50=%dB p99=%dB), round wall p99 %.2fms, %d \
+     sampler ticks (%d dropped)\n"
+    (Obs.Hist.count frame_h)
+    (Obs.Hist.quantile frame_h 0.5)
+    (Obs.Hist.quantile frame_h 0.99)
+    (float_of_int (Obs.Hist.quantile wall_h 0.99) /. 1e6)
+    (Obs.Sampler.recorded sampler)
+    (Obs.Sampler.dropped sampler);
   Printf.printf "      allocation: %.0f minor words/wave mean\n"
     (if !waves = 0 then 0.0 else !total_minor_words /. float_of_int !waves);
   (* Flatness: the allocation rate (minor words per frame byte) must not

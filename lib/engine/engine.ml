@@ -187,12 +187,27 @@ let honest_running ~corrupt states =
    schedule because sessions only ever read their own round matrix (see the
    delivery derivation below). *)
 let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
-    ~transport ~n ~t ~corrupt specs =
+    ?obs ?on_round ~transport ~n ~t ~corrupt specs =
   if Array.length corrupt <> n then invalid_arg "Engine: corrupt array size";
   if domains < 1 then invalid_arg "Engine: domains < 1";
   let n_corrupt = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 corrupt in
   if n_corrupt > t then invalid_arg "Engine: more corruptions than t";
   validate_specs specs;
+  (* Obs instruments, all recorded from the sequential sections of the loop
+     so the deterministic tier is identical for every backend and domain
+     count. The sampled round-wall histogram is the only wall-clock reader
+     and costs two gettimeofday calls per engine round when enabled. *)
+  let obs_frame_h = Option.map (fun o -> Obs.hist o ~tier:Obs.Det "engine/frame_bytes") obs in
+  let obs_life_h = Option.map (fun o -> Obs.hist o ~tier:Obs.Det "engine/session_rounds") obs in
+  let obs_wall_h = Option.map (fun o -> Obs.hist o ~tier:Obs.Sampled "engine/round_wall_ns") obs in
+  let obs_rounds_c = Option.map (fun o -> Obs.counter o ~tier:Obs.Det "engine/rounds") obs in
+  let obs_frames_c = Option.map (fun o -> Obs.counter o ~tier:Obs.Det "engine/frames") obs in
+  let obs_sessions_c = Option.map (fun o -> Obs.counter o ~tier:Obs.Det "engine/sessions") obs in
+  let obs_live_g = Option.map (fun o -> Obs.gauge o ~tier:Obs.Det "engine/live") obs in
+  let obs_peak_g = Option.map (fun o -> Obs.gauge o ~tier:Obs.Det "engine/peak_live") obs in
+  let record_frame sz =
+    match obs_frame_h with Some h -> Obs.Hist.record h sz | None -> ()
+  in
   let pool = if domains > 1 then Some (Pool.shared ()) else None in
   (* Session-index-ordered telemetry shards, merged into the caller's
      recorder after the run (see [Telemetry.merge]). *)
@@ -265,6 +280,10 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
     end
   in
   let retire l =
+    (match obs_life_h with
+    | Some h -> Obs.Hist.record h l.l_metrics.Metrics.rounds
+    | None -> ());
+    (match obs_sessions_c with Some c -> Obs.incr c 1 | None -> ());
     (match l.l_telemetry with
     | Some tm ->
         for i = 0 to n - 1 do
@@ -340,6 +359,11 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
     (match telemetry with
     | Some tm -> Telemetry.live_sessions tm ~round:!er ~live:!k_live
     | None -> ());
+    (match obs_live_g with Some g -> Obs.set_gauge g !k_live | None -> ());
+    (match obs_peak_g with Some g -> Obs.max_gauge g !k_live | None -> ());
+    let wall_t0 =
+      match obs_wall_h with Some _ -> Unix.gettimeofday () | None -> 0.0
+    in
     (* 1–4. Send phase: every live session computes one of its own rounds'
        message matrix, exactly as Sim.run would — adversary PRNG order,
        byzantine truncation and metrics accounting included. Sessions are
@@ -602,10 +626,13 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
         for r = 0 to n - 1 do
           if s <> r then begin
             incr frames_sent;
-            frame_bytes :=
-              !frame_bytes + Wire.varint_size round_now
+            let sz =
+              Wire.varint_size round_now
               + Wire.varint_size edge_cnt.(s).(r)
-              + edge_hdr.(s).(r) + edge_psz.(s).(r);
+              + edge_hdr.(s).(r) + edge_psz.(s).(r)
+            in
+            record_frame sz;
+            frame_bytes := !frame_bytes + sz;
             payload_bytes := !payload_bytes + edge_psz.(s).(r)
           end
         done
@@ -616,15 +643,20 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
           if s <> r then begin
             let es = bundles.(s).(r) in
             incr frames_sent;
-            frame_bytes :=
-              !frame_bytes
-              + Wire.Frame.encoded_size { Wire.Frame.round = round_now; entries = es };
+            let sz =
+              Wire.Frame.encoded_size { Wire.Frame.round = round_now; entries = es }
+            in
+            record_frame sz;
+            frame_bytes := !frame_bytes + sz;
             List.iter
               (fun (_, m) -> payload_bytes := !payload_bytes + String.length m)
               es
           end
         done
       done;
+    (match obs_frames_c with
+    | Some c -> Obs.incr c (n * (n - 1))
+    | None -> ());
     if transport.Transport.direct then
       (* Delivery already happened in the fused phase; the exchange is the
          identity, called so the transport still observes every round. *)
@@ -687,6 +719,18 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
       live_arr.(li) <- None
     done;
     k_live := !w;
+    (* Post-retirement, so the gauge drains to 0 when the last session
+       completes rather than holding the final round's entry count. *)
+    (match obs_live_g with Some g -> Obs.set_gauge g !k_live | None -> ());
+    (match obs_rounds_c with Some c -> Obs.incr c 1 | None -> ());
+    (match obs_wall_h with
+    | Some h ->
+        Obs.Hist.record h
+          (int_of_float ((Unix.gettimeofday () -. wall_t0) *. 1e9))
+    | None -> ());
+    (match on_round with
+    | Some f -> f ~round:round_now ~live:!k_live
+    | None -> ());
     incr er
   done;
   (* Fold the per-session telemetry shards back into the caller's recorder,
@@ -722,19 +766,43 @@ let run_core ?(max_rounds = default_max_rounds) ?(domains = 1) ?trace ?telemetry
 
 (* ---- simulator backend ---------------------------------------------------- *)
 
-let run_sim ?max_rounds ?domains ?trace ?telemetry ~n ~t ~corrupt specs =
-  run_core ?max_rounds ?domains ?trace ?telemetry
+let sampler_hook ?sampler ~sample_every ?poll_stats () =
+  match sampler with
+  | None -> None
+  | Some smp ->
+      let every = max 1 sample_every in
+      Some
+        (fun ~round ~live ->
+          if round mod every = 0 then
+            let poll =
+              match poll_stats with Some f -> Some (f ()) | None -> None
+            in
+            Obs.Sampler.record smp ~round ~live ?poll ())
+
+let run_sim ?max_rounds ?domains ?trace ?telemetry ?obs ?sampler
+    ?(sample_every = 16) ~n ~t ~corrupt specs =
+  let on_round = sampler_hook ?sampler ~sample_every () in
+  run_core ?max_rounds ?domains ?trace ?telemetry ?obs ?on_round
     ~transport:(Transport.loopback ()) ~n ~t ~corrupt specs
 
 (* ---- poll backend ---------------------------------------------------------- *)
 
-let run_poll ?max_rounds ?domains ?trace ?telemetry ?outbuf ~n ~t ~corrupt
-    specs =
+let run_poll ?max_rounds ?domains ?trace ?telemetry ?obs ?sampler
+    ?(sample_every = 16) ?control ?outbuf ~n ~t ~corrupt specs =
   let net = Net_poll.create ?outbuf ~n () in
+  (match obs with
+  | Some o -> Net_poll.set_sink net (Some (Obs.poll_sink o))
+  | None -> ());
+  Net_poll.set_control net control;
+  let on_round =
+    sampler_hook ?sampler ~sample_every
+      ~poll_stats:(fun () -> Net_poll.stats net)
+      ()
+  in
   Fun.protect
     ~finally:(fun () -> Net_poll.close net)
     (fun () ->
-      run_core ?max_rounds ?domains ?trace ?telemetry
+      run_core ?max_rounds ?domains ?trace ?telemetry ?obs ?on_round
         ~transport:(Net_poll.transport net) ~n ~t ~corrupt specs)
 
 (* ---- socket backend ------------------------------------------------------- *)

@@ -95,6 +95,8 @@ val run_core :
   ?domains:int ->
   ?trace:Net.Trace.t ->
   ?telemetry:Telemetry.t ->
+  ?obs:Obs.t ->
+  ?on_round:(round:int -> live:int -> unit) ->
   transport:Net.Transport.t ->
   n:int ->
   t:int ->
@@ -116,13 +118,27 @@ val run_core :
     delivery index) is preallocated at session capacity and reused, so
     steady-state rounds allocate only per-session transients. Raises like
     {!run_sim}; transport failures propagate as the transport's own
-    exceptions. *)
+    exceptions.
+
+    [obs] attaches a {!Obs} registry. Deterministic tier (recorded from the
+    sequential sections only, so identical across transports and domain
+    counts): histograms [engine/frame_bytes] (every coalesced frame's
+    encoded size — the histogram sum equals the ledger's [frame_bytes]) and
+    [engine/session_rounds] (session lifetimes at retirement), counters
+    [engine/rounds], [engine/frames], [engine/sessions], gauges
+    [engine/live] and [engine/peak_live]. Sampled tier:
+    [engine/round_wall_ns], the wall-clock engine-round latency. [on_round]
+    runs after each engine round's retirement with the round number and
+    remaining live count — the hook the periodic {!Obs.Sampler} rides. *)
 
 val run_sim :
   ?max_rounds:int ->
   ?domains:int ->
   ?trace:Net.Trace.t ->
   ?telemetry:Telemetry.t ->
+  ?obs:Obs.t ->
+  ?sampler:Obs.Sampler.t ->
+  ?sample_every:int ->
   n:int ->
   t:int ->
   corrupt:bool array ->
@@ -148,6 +164,10 @@ val run_sim :
     metrics, the aggregate ledger and the telemetry JSONL are byte-identical
     for every domain count (asserted by [test/test_multicore.ml]).
 
+    [obs] instruments the run (see {!run_core}). [sampler] records an
+    {!Obs.Sampler} snapshot every [sample_every] (default 16) engine
+    rounds.
+
     Raises [Invalid_argument] on inconsistent parameters (corrupt-array
     size, more corruptions than [t], duplicate or negative sids, negative
     start rounds, empty session list, [domains < 1]). *)
@@ -157,6 +177,10 @@ val run_poll :
   ?domains:int ->
   ?trace:Net.Trace.t ->
   ?telemetry:Telemetry.t ->
+  ?obs:Obs.t ->
+  ?sampler:Obs.Sampler.t ->
+  ?sample_every:int ->
+  ?control:(Unix.file_descr * (unit -> unit)) ->
   ?outbuf:int ->
   n:int ->
   t:int ->
@@ -171,7 +195,15 @@ val run_poll :
     aggregate ledger and the telemetry JSONL are byte-identical to
     {!run_sim} on the same inputs (asserted by [test/test_poll.ml]).
     [outbuf] is the per-connection ring capacity (default 64 KiB) — shrink
-    it to exercise parking. The mesh is torn down on every exit path. *)
+    it to exercise parking. The mesh is torn down on every exit path.
+
+    [obs] additionally installs {!Obs.poll_sink} on the mesh, so select
+    waits and write stalls land in the sampled-tier histograms. [sampler]
+    snapshots every [sample_every] (default 16) engine rounds, with the
+    mesh's {!Net_poll.stats} attached. [control] is forwarded to
+    {!Net_poll.set_control} — pass [(Obs.Endpoint.fd ep, fun () ->
+    Obs.Endpoint.service ep)] to serve the live stats endpoint from inside
+    the select loop. *)
 
 val run_unix :
   ?t:int ->

@@ -30,6 +30,14 @@ type stats = {
   p_max_backlog : int;
   p_frames_encoded_in_place : int;
   p_minor_words_per_round : float;
+  p_select_wait_max_s : float;
+  p_select_wait_mean_s : float;
+  p_conn_peak_backlog : int array array;
+}
+
+type sink = {
+  sink_select_wait : float -> unit;
+  sink_write_stall : float -> unit;
 }
 
 (* ---- bounded byte ring ---------------------------------------------------- *)
@@ -90,6 +98,8 @@ type conn = {
   mutable c_out_len : int;
   mutable c_off : int;  (* bytes of [c_out] already admitted to the ring *)
   mutable c_rcvd : (int * string) list option;  (* decoded inbound entries *)
+  mutable c_peak_backlog : int;  (* peak queued bytes over this conn's life *)
+  mutable c_park_t : float;  (* wall clock when the current stall began; -1.0 *)
 }
 
 type t = {
@@ -112,6 +122,10 @@ type t = {
   mutable s_max_backlog : int;
   mutable s_in_place : int;
   mutable s_minor_words : float;
+  mutable s_select_wait_total : float;
+  mutable s_select_wait_max : float;
+  mutable sink : sink option;
+  mutable control : (Unix.file_descr * (unit -> unit)) option;
 }
 
 let stall_timeout = 30.0
@@ -156,6 +170,8 @@ let create ?(outbuf = 64 * 1024) ?(max_frame = Wire.Frame.max_frame_bytes) ~n ()
             c_out_len = 0;
             c_off = 0;
             c_rcvd = None;
+            c_peak_backlog = 0;
+            c_park_t = -1.0;
           }
           :: !conns
     done
@@ -178,7 +194,14 @@ let create ?(outbuf = 64 * 1024) ?(max_frame = Wire.Frame.max_frame_bytes) ~n ()
     s_max_backlog = 0;
     s_in_place = 0;
     s_minor_words = 0.0;
+    s_select_wait_total = 0.0;
+    s_select_wait_max = 0.0;
+    sink = None;
+    control = None;
   }
+
+let set_sink t sink = t.sink <- sink
+let set_control t control = t.control <- control
 
 let close t =
   if not t.closed then begin
@@ -203,6 +226,14 @@ let stats t =
     p_minor_words_per_round =
       (if t.s_rounds = 0 then 0.0
        else t.s_minor_words /. float_of_int t.s_rounds);
+    p_select_wait_max_s = t.s_select_wait_max;
+    p_select_wait_mean_s =
+      (if t.s_polls = 0 then 0.0
+       else t.s_select_wait_total /. float_of_int t.s_polls);
+    p_conn_peak_backlog =
+      (let m = Array.make_matrix t.n t.n 0 in
+       Array.iter (fun c -> m.(c.c_src).(c.c_dst) <- c.c_peak_backlog) t.conns;
+       m);
   }
 
 (* Bytes not yet flushed to the kernel for one connection. *)
@@ -226,8 +257,15 @@ let load_frame t c ~body_len fill =
   t.s_frames <- t.s_frames + 1;
   t.s_frame_bytes <- t.s_frame_bytes + body_len;
   t.s_wire_bytes <- t.s_wire_bytes + total;
-  if c.c_off < total then t.s_parked <- t.s_parked + 1;
-  t.s_max_backlog <- max t.s_max_backlog (backlog c)
+  if c.c_off < total then begin
+    t.s_parked <- t.s_parked + 1;
+    (* A stall is the span from the first park until the whole backlog
+       drains; the stamp is taken only on the (rare) parked path. *)
+    if c.c_park_t < 0.0 then c.c_park_t <- Unix.gettimeofday ()
+  end;
+  let b = backlog c in
+  t.s_max_backlog <- max t.s_max_backlog b;
+  c.c_peak_backlog <- max c.c_peak_backlog b
 
 (* Admit parked frame bytes into the ring, then flush the ring. Returns true
    if any byte moved to the kernel. *)
@@ -245,6 +283,11 @@ let service_write t c =
     else continue := false;
     if Ring.length c.c_ring = 0 && c.c_off = c.c_out_len then continue := false
   done;
+  if c.c_park_t >= 0.0 && backlog c = 0 then begin
+    let stall = Unix.gettimeofday () -. c.c_park_t in
+    c.c_park_t <- -1.0;
+    match t.sink with Some s -> s.sink_write_stall stall | None -> ()
+  end;
   !progressed
 
 let service_read t ~round c =
@@ -290,16 +333,31 @@ let drive t ~round =
         if c.c_rcvd = None then rconns := c :: !rconns)
       t.conns;
     let rfds = List.map (fun c -> c.c_rfd) !rconns in
+    let rfds =
+      match t.control with Some (fd, _) -> fd :: rfds | None -> rfds
+    in
     let wfds = List.map (fun c -> c.c_wfd) !wconns in
     t.s_polls <- t.s_polls + 1;
+    let sel_t0 = Unix.gettimeofday () in
     let readable, writable, _ = Unix.select rfds wfds [] stall_timeout in
+    let wait = Unix.gettimeofday () -. sel_t0 in
+    t.s_select_wait_total <- t.s_select_wait_total +. wait;
+    if wait > t.s_select_wait_max then t.s_select_wait_max <- wait;
+    (match t.sink with Some s -> s.sink_select_wait wait | None -> ());
     if readable = [] && writable = [] then
       failwith "Net_poll: stalled (nothing readable or writable)";
+    (* The control endpoint rides the same select: a live-stats client that
+       connects mid-round is served without leaving the loop. *)
+    (match t.control with
+    | Some (fd, service) when List.memq fd readable -> service ()
+    | _ -> ());
     List.iter
       (fun c ->
         if List.memq c.c_wfd writable then begin
           ignore (service_write t c);
-          t.s_max_backlog <- max t.s_max_backlog (backlog c)
+          let b = backlog c in
+          t.s_max_backlog <- max t.s_max_backlog b;
+          c.c_peak_backlog <- max c.c_peak_backlog b
         end)
       !wconns;
     List.iter

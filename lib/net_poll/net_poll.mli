@@ -54,7 +54,27 @@ type stats = {
       (** Mean minor-heap words allocated per exchange on the entries path —
           the transport's own allocation footprint, measured around each
           exchange with [Gc.minor_words]. *)
+  p_select_wait_max_s : float;
+      (** Longest single [select(2)] wait, in seconds (wall clock). *)
+  p_select_wait_mean_s : float;
+      (** Mean [select(2)] wait per poll, in seconds (wall clock). *)
+  p_conn_peak_backlog : int array array;
+      (** [m.(src).(dst)]: peak bytes ever queued behind the [src -> dst]
+          connection (ring + parked frame remainder), the diagonal zero.
+          [p_max_backlog] is the maximum over this matrix. Freshly allocated
+          by each {!stats} call. *)
 }
+
+type sink = {
+  sink_select_wait : float -> unit;
+      (** Called once per [select(2)] return with the wait in seconds. *)
+  sink_write_stall : float -> unit;
+      (** Called when a parked connection fully drains, with the stall
+          duration in seconds (first park to empty backlog). *)
+}
+(** Per-event duration callbacks for an external observer (the [lib/obs]
+    sampled-tier histograms). Callbacks run inside the poll loop: they must
+    not block, raise, or re-enter this module. *)
 
 type t
 
@@ -77,6 +97,19 @@ val exchange :
     [Invalid_argument] after {!close} or on a mis-shaped matrix. *)
 
 val stats : t -> stats
+
+val set_sink : t -> sink option -> unit
+(** Install (or clear) the duration-event sink. No-op on the byte path when
+    unset: the only cost without a sink is the select-wait bookkeeping that
+    {!stats} reports anyway. *)
+
+val set_control : t -> (Unix.file_descr * (unit -> unit)) option -> unit
+(** Install a control endpoint: [fd] joins every [select] read set inside
+    {!exchange}, and [service] runs whenever it is readable — the hook the
+    live stats endpoint ([Obs.Endpoint]) uses to answer clients mid-round.
+    [service] must leave [fd] unreadable before returning (accept and answer
+    every pending client) or the loop will spin on it; it must not block or
+    raise. The fd is not closed by {!close}. *)
 
 val transport : t -> Net.Transport.t
 (** The {!Net.Transport} view driven by [Engine.run_poll] ([direct = false]):

@@ -337,6 +337,70 @@ let convergence t ~session ~key =
         (fun i -> Hashtbl.find_opt hulls i)
         (List.init (!max_iter + 1) Fun.id))
 
+(* ---- structural views (the span -> trace_event bridge) -------------------- *)
+
+type span_view = {
+  v_session : int;
+  v_party : int;
+  v_depth : int;
+  v_path : string;
+  v_label : string;
+  v_enter : int;
+  v_exit : int;
+  v_bits : int;
+  v_msgs : int;
+}
+
+let iter_span_views t f =
+  locked t (fun () ->
+      List.iter
+        (fun b ->
+          let rec walk path depth sp =
+            let path =
+              if path = "" then sp.sp_label else path ^ "/" ^ sp.sp_label
+            in
+            let exit = if sp.sp_exit < 0 then b.b_last_round else sp.sp_exit in
+            f
+              {
+                v_session = b.b_session;
+                v_party = b.b_party;
+                v_depth = depth;
+                v_path = path;
+                v_label = sp.sp_label;
+                v_enter = sp.sp_enter;
+                v_exit = exit;
+                v_bits = sp.sp_bits;
+                v_msgs = sp.sp_msgs;
+              };
+            List.iter (walk path (depth + 1)) (List.rev sp.sp_children_rev)
+          in
+          walk "" 0 b.b_root)
+        (sorted_buckets t))
+
+type round_view = {
+  r_round : int;
+  r_bits : int;
+  r_msgs : int;
+  r_byz_bits : int;
+  r_byz_msgs : int;
+  r_live : int;
+}
+
+let iter_round_views t f =
+  locked t (fun () ->
+      Hashtbl.fold (fun r c acc -> (r, c) :: acc) t.timeline []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.iter (fun (r, c) ->
+             f
+               {
+                 r_round = r;
+                 r_bits = c.c_bits;
+                 r_msgs = c.c_msgs;
+                 r_byz_bits = c.c_byz_bits;
+                 r_byz_msgs = c.c_byz_msgs;
+                 r_live = c.c_live;
+               }))
+
 (* ---- JSONL export --------------------------------------------------------- *)
 
 let escape s =

@@ -138,6 +138,43 @@ val convergence :
     is the measured Bounded Pre-Agreement convergence. Parties whose value
     does not parse as hex are skipped defensively. *)
 
+(** {1 Structural views}
+
+    Read-only walks over the recorded structure, in the same canonical order
+    as {!to_jsonl} — the seam the [lib/obs] Chrome [trace_event] exporter is
+    built on, so a trace rendered from a deterministic execution is itself
+    byte-identical. Callbacks run under the recorder's mutex: they must not
+    re-enter this module on the same recorder. *)
+
+type span_view = {
+  v_session : int;
+  v_party : int;
+  v_depth : int;  (** 0 for the synthetic root span. *)
+  v_path : string;  (** Slash-joined label path from the root. *)
+  v_label : string;
+  v_enter : int;
+  v_exit : int;  (** Open spans report the bucket's last recorded round. *)
+  v_bits : int;  (** Exclusive of children. *)
+  v_msgs : int;
+}
+
+val iter_span_views : t -> (span_view -> unit) -> unit
+(** Every span of every (session, party) bucket: buckets sorted by
+    (session, party), spans pre-order within each bucket — exactly the
+    {!to_jsonl} span order. *)
+
+type round_view = {
+  r_round : int;
+  r_bits : int;
+  r_msgs : int;
+  r_byz_bits : int;
+  r_byz_msgs : int;
+  r_live : int;  (** -1 when never recorded for this round. *)
+}
+
+val iter_round_views : t -> (round_view -> unit) -> unit
+(** Every timeline cell, rounds ascending. *)
+
 (** {1 Export} *)
 
 val to_jsonl : t -> string

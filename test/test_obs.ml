@@ -1,0 +1,423 @@
+(* Observability plane (lib/obs). Three layers of assertions:
+
+   1. Histogram algebra — qcheck properties: bucket bounds are monotone and
+      contiguous, every int lands in exactly one bucket whose bounds contain
+      it, and recorded quantiles bracket the true (sorted-rank) quantile.
+   2. Registry semantics — tier filtering, canonical export order, name
+      conflicts, and the export's own schema validators.
+   3. The deterministic tier on a real K=8 engine workload: the Det JSONL
+      and the virtual-clock chrome trace must be byte-identical across
+      run_sim, run_poll and run_sim ~domains:2, and the Det instruments must
+      reproduce the engine's aggregate ledger exactly (the frame-bytes
+      histogram sums to the ledger's frame_bytes by construction).
+   Plus the sampler ring bounds and the live endpoint served through the
+   poll loop's control hook, single-threaded. *)
+
+open Net
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ---- histogram algebra ---------------------------------------------------- *)
+
+(* Bounds are exact powers of two below the platform's word size and clamp
+   to max_int at the saturated top (bucket Sys.int_size - 1 and above). *)
+let top_exact = Sys.int_size - 2
+
+let test_bucket_bounds_monotone () =
+  Alcotest.(check int) "bucket 0 lower bound" min_int (Obs.Hist.bucket_lo 0);
+  Alcotest.(check int) "bucket 0 upper bound" 0 (Obs.Hist.bucket_hi 0);
+  for i = 1 to top_exact do
+    Alcotest.(check int)
+      (Printf.sprintf "bucket %d lower bound" i)
+      (1 lsl (i - 1))
+      (Obs.Hist.bucket_lo i);
+    Alcotest.(check bool)
+      (Printf.sprintf "bucket %d bounds ordered" i)
+      true
+      (Obs.Hist.bucket_lo i <= Obs.Hist.bucket_hi i)
+  done;
+  (* Contiguity: each bucket ends exactly where the next begins, up to the
+     last bucket with an exact upper bound. *)
+  for i = 0 to top_exact do
+    Alcotest.(check int)
+      (Printf.sprintf "bucket %d..%d contiguous" i (i + 1))
+      (Obs.Hist.bucket_hi i + 1)
+      (Obs.Hist.bucket_lo (i + 1))
+  done;
+  (* Above the word size the table saturates at max_int rather than
+     overflowing 1 lsl 62. *)
+  Alcotest.(check int) "top inhabited bucket saturates" max_int
+    (Obs.Hist.bucket_hi (Sys.int_size - 1));
+  Alcotest.(check int) "last slot saturates" max_int
+    (Obs.Hist.bucket_hi (Obs.Hist.slots - 1))
+
+(* Every boundary value maps to its own bucket — deterministic coverage of
+   all edges, the place an off-by-one would hide. *)
+let test_bucket_boundaries_roundtrip () =
+  Alcotest.(check int) "min_int" 0 (Obs.Hist.bucket_of_value min_int);
+  Alcotest.(check int) "0" 0 (Obs.Hist.bucket_of_value 0);
+  Alcotest.(check int) "-1" 0 (Obs.Hist.bucket_of_value (-1));
+  Alcotest.(check int) "max_int lands in the top inhabited bucket"
+    (Sys.int_size - 1)
+    (Obs.Hist.bucket_of_value max_int);
+  for i = 1 to top_exact do
+    Alcotest.(check int)
+      (Printf.sprintf "lo(%d) maps to %d" i i)
+      i
+      (Obs.Hist.bucket_of_value (Obs.Hist.bucket_lo i));
+    Alcotest.(check int)
+      (Printf.sprintf "hi(%d) maps to %d" i i)
+      i
+      (Obs.Hist.bucket_of_value (Obs.Hist.bucket_hi i))
+  done
+
+(* Full-range ints: exactly one bucket, and its bounds contain the value.
+   Uniqueness via contiguity — neither neighbour contains the value (the
+   saturated top bucket has no exact-bounded successor to test against). *)
+let prop_bucket_total =
+  QCheck.Test.make ~count:2000 ~name:"every int maps into exactly one bucket"
+    (QCheck.make ~print:string_of_int
+       QCheck.Gen.(
+         oneof
+           [
+             int;
+             small_signed_int;
+             (* The adversarial band: powers of two and their neighbours. *)
+             map
+               (fun (sh, off) -> (1 lsl sh) + off)
+               (pair (int_bound (Sys.int_size - 2)) (int_range (-1) 1));
+           ]))
+    (fun v ->
+      let b = Obs.Hist.bucket_of_value v in
+      b >= 0 && b < Obs.Hist.slots
+      && Obs.Hist.bucket_lo b <= v
+      && v <= Obs.Hist.bucket_hi b
+      && (b = 0 || Obs.Hist.bucket_hi (b - 1) < v)
+      && (b >= Sys.int_size - 1 || Obs.Hist.bucket_lo (b + 1) > v))
+
+(* Recorded quantiles bracket the true sorted-rank quantile: the true value
+   lies within the returned bucket bounds (clamped to observed min/max), so
+   the estimate is off by at most one bucket width. *)
+let prop_quantile_brackets =
+  QCheck.Test.make ~count:500 ~name:"quantile_bounds bracket the true quantile"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (int_bound 2_000_000))
+        (int_bound 100))
+    (fun (values, pct) ->
+      let q = float_of_int pct /. 100.0 in
+      let h = Obs.Hist.create () in
+      List.iter (Obs.Hist.record h) values;
+      let sorted = List.sort compare values in
+      let n = List.length sorted in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let truth = List.nth sorted (rank - 1) in
+      let lo, hi = Obs.Hist.quantile_bounds h q in
+      lo <= truth && truth <= hi && Obs.Hist.quantile h q = hi)
+
+let test_hist_counts_and_merge () =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.record h) [ 0; 1; 1; 3; 900; -7 ];
+  Alcotest.(check int) "count" 6 (Obs.Hist.count h);
+  Alcotest.(check int) "sum" (0 + 1 + 1 + 3 + 900 - 7) (Obs.Hist.sum h);
+  Alcotest.(check int) "min" (-7) (Obs.Hist.min_value h);
+  Alcotest.(check int) "max" 900 (Obs.Hist.max_value h);
+  let counts = Obs.Hist.counts h in
+  Alcotest.(check int) "bucket 0 holds the values <= 0" 2 counts.(0);
+  Alcotest.(check int) "bucket 1 holds the two 1s" 2 counts.(1);
+  Alcotest.(check int) "900 has 10 significant bits" 1 counts.(10);
+  let h2 = Obs.Hist.create () in
+  List.iter (Obs.Hist.record h2) [ 4; 2000 ];
+  Obs.Hist.merge ~into:h h2;
+  Alcotest.(check int) "merged count" 8 (Obs.Hist.count h);
+  Alcotest.(check int) "merged max" 2000 (Obs.Hist.max_value h);
+  Alcotest.(check int) "merged min" (-7) (Obs.Hist.min_value h);
+  Alcotest.(check int) "merged sum" (898 + 4 + 2000) (Obs.Hist.sum h);
+  let empty = Obs.Hist.create () in
+  Alcotest.(check (pair int int))
+    "empty quantile" (0, 0)
+    (Obs.Hist.quantile_bounds empty 0.5);
+  Alcotest.(check int) "empty min" 0 (Obs.Hist.min_value empty);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Obs.Hist.mean empty)
+
+(* ---- registry semantics --------------------------------------------------- *)
+
+let test_registry_tiers_and_order () =
+  let o = Obs.create () in
+  let h = Obs.hist o ~tier:Obs.Det "zz/frames" in
+  Obs.Hist.record h 17;
+  let c = Obs.counter o ~tier:Obs.Det "aa/rounds" in
+  Obs.incr c 3;
+  let g = Obs.gauge o ~tier:Obs.Sampled "mm/live" in
+  Obs.set_gauge g 5;
+  Obs.max_gauge g 2;
+  Alcotest.(check int) "max_gauge keeps the peak" 5 (Obs.gauge_value g);
+  Obs.max_gauge g 9;
+  Alcotest.(check int) "max_gauge raises the peak" 9 (Obs.gauge_value g);
+  Alcotest.(check int) "counter accumulates" 3 (Obs.counter_value c);
+  (* Canonical order: counters, then gauges, then hists, names sorted. *)
+  let lines s = String.split_on_char '\n' (String.trim s) in
+  let kinds s =
+    List.map
+      (fun l -> if String.length l > 13 then String.sub l 9 4 else Alcotest.fail l)
+      (lines s)
+  in
+  Alcotest.(check (list string))
+    "kind-major order"
+    [ "coun"; "gaug"; "hist" ]
+    (kinds (Obs.to_jsonl o));
+  (* Tier filtering: the Det export excludes the sampled gauge entirely. *)
+  let det = Obs.to_jsonl ~tier:Obs.Det o in
+  Alcotest.(check int) "det export has 2 lines" 2 (List.length (lines det));
+  Alcotest.(check bool) "sampled gauge excluded from Det" false
+    (contains det "mm/live");
+  Alcotest.(check bool) "det hist retained" true (contains det "zz/frames");
+  (* Get-or-create returns the same instrument; conflicts raise. *)
+  Alcotest.(check int) "get-or-create shares state" 3
+    (Obs.counter_value (Obs.counter o ~tier:Obs.Det "aa/rounds"));
+  Alcotest.check_raises "tier conflict"
+    (Invalid_argument
+       "Obs: instrument \"aa/rounds\" re-requested with tier sampled (is det)")
+    (fun () -> ignore (Obs.counter o ~tier:Obs.Sampled "aa/rounds"));
+  Alcotest.check_raises "kind conflict"
+    (Invalid_argument "Obs: instrument \"aa/rounds\" is a counter, not a hist")
+    (fun () -> ignore (Obs.hist o ~tier:Obs.Det "aa/rounds"));
+  (* The export passes its own schema validator; the text render mentions
+     every instrument. *)
+  (match Obs.Check.registry_jsonl (Obs.to_jsonl o) with
+  | Ok n -> Alcotest.(check int) "validator sees 3 lines" 3 n
+  | Error msg -> Alcotest.fail msg);
+  let text = Obs.render_text o in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "render_text mentions %s" name)
+        true (contains text name))
+    [ "aa/rounds"; "mm/live"; "zz/frames" ]
+
+(* ---- the deterministic tier on a real engine workload --------------------- *)
+
+let mk_specs ~n ~sessions ~spacing ~seed =
+  List.init sessions (fun k ->
+      let inputs =
+        let rng = Prng.create (seed + (101 * k)) in
+        Workload.clustered_bits rng ~n ~bits:48 ~shared_prefix_bits:16
+      in
+      Engine.session ~sid:k ~start_round:(spacing * k)
+        ~adversary:(Adversary.equivocate ~seed:(seed + (31 * k)))
+        (fun ctx -> Convex.agree_int ctx inputs.(ctx.Ctx.me)))
+
+let run_with_obs backend =
+  let n = 7 and t = 2 in
+  let corrupt = Workload.spread_corrupt ~n ~t in
+  let specs = mk_specs ~n ~sessions:8 ~spacing:2 ~seed:4242 in
+  let obs = Obs.create () in
+  let telemetry = Telemetry.create () in
+  let outcome =
+    match backend with
+    | `Sim -> Engine.run_sim ~obs ~telemetry ~n ~t ~corrupt specs
+    | `Sim_domains d ->
+        Engine.run_sim ~domains:d ~obs ~telemetry ~n ~t ~corrupt specs
+    | `Poll -> Engine.run_poll ~obs ~telemetry ~n ~t ~corrupt specs
+  in
+  (obs, telemetry, outcome)
+
+let test_det_tier_identical_across_backends () =
+  let obs_sim, tm_sim, o_sim = run_with_obs `Sim in
+  let obs_poll, tm_poll, _ = run_with_obs `Poll in
+  let obs_par, tm_par, _ = run_with_obs (`Sim_domains 2) in
+  let det o = Obs.to_jsonl ~tier:Obs.Det o in
+  Alcotest.(check string) "Det JSONL: poll = sim" (det obs_sim) (det obs_poll);
+  Alcotest.(check string)
+    "Det JSONL: domains=2 = sim" (det obs_sim) (det obs_par);
+  let tr_sim = Obs.Trace.chrome_trace tm_sim in
+  Alcotest.(check string) "chrome trace: poll = sim" tr_sim
+    (Obs.Trace.chrome_trace tm_poll);
+  Alcotest.(check string) "chrome trace: domains=2 = sim" tr_sim
+    (Obs.Trace.chrome_trace tm_par);
+  (* The full export legitimately differs (wall-clock histograms, the poll
+     sink's select-wait instruments); only the Det slice is identical. *)
+  Alcotest.(check bool) "poll adds sampled instruments" true
+    (Obs.to_jsonl obs_poll <> Obs.to_jsonl obs_sim);
+  Alcotest.(check bool) "poll run recorded select waits" true
+    (contains (Obs.to_jsonl obs_poll) "poll/select_wait_ns");
+  (* Det instruments reproduce the aggregate ledger exactly. *)
+  let agg = o_sim.Engine.aggregate in
+  let frame_h = Obs.hist obs_sim ~tier:Obs.Det "engine/frame_bytes" in
+  Alcotest.(check int) "frame hist sum = ledger frame_bytes"
+    agg.Engine.frame_bytes (Obs.Hist.sum frame_h);
+  Alcotest.(check int) "frame hist count = ledger frames_sent"
+    agg.Engine.frames_sent (Obs.Hist.count frame_h);
+  Alcotest.(check int) "rounds counter = ledger engine_rounds"
+    agg.Engine.engine_rounds
+    (Obs.counter_value (Obs.counter obs_sim ~tier:Obs.Det "engine/rounds"));
+  Alcotest.(check int) "frames counter = ledger frames_sent"
+    agg.Engine.frames_sent
+    (Obs.counter_value (Obs.counter obs_sim ~tier:Obs.Det "engine/frames"));
+  Alcotest.(check int) "sessions counter = completed sessions"
+    agg.Engine.sessions_completed
+    (Obs.counter_value (Obs.counter obs_sim ~tier:Obs.Det "engine/sessions"));
+  Alcotest.(check int) "peak_live gauge = ledger peak_live" agg.Engine.peak_live
+    (Obs.gauge_value (Obs.gauge obs_sim ~tier:Obs.Det "engine/peak_live"));
+  Alcotest.(check int) "live gauge drains to 0 at the end" 0
+    (Obs.gauge_value (Obs.gauge obs_sim ~tier:Obs.Det "engine/live"));
+  let life_h = Obs.hist obs_sim ~tier:Obs.Det "engine/session_rounds" in
+  Alcotest.(check int) "one lifetime recorded per session"
+    agg.Engine.sessions_completed (Obs.Hist.count life_h);
+  (* Both artifacts pass their own schema validators. *)
+  (match Obs.Check.registry_jsonl (det obs_sim) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("Det JSONL schema: " ^ msg));
+  match Obs.Check.chrome_trace tr_sim with
+  | Ok events -> Alcotest.(check bool) "trace has events" true (events > 0)
+  | Error msg -> Alcotest.fail ("chrome trace schema: " ^ msg)
+
+(* ---- sampler ring --------------------------------------------------------- *)
+
+let test_sampler_ring_bounds () =
+  let s = Obs.Sampler.create ~capacity:4 () in
+  for r = 1 to 10 do
+    Obs.Sampler.record s ~round:r ~live:(r mod 3) ()
+  done;
+  Alcotest.(check int) "capacity" 4 (Obs.Sampler.capacity s);
+  Alcotest.(check int) "recorded counts every record" 10 (Obs.Sampler.recorded s);
+  Alcotest.(check int) "length bounded by capacity" 4 (Obs.Sampler.length s);
+  Alcotest.(check int) "dropped = recorded - retained" 6 (Obs.Sampler.dropped s);
+  let samples = Obs.Sampler.samples s in
+  Alcotest.(check (list int))
+    "retained samples chronological, newest kept"
+    [ 7; 8; 9; 10 ]
+    (List.map (fun smp -> smp.Obs.Sampler.s_round) samples);
+  Alcotest.(check (list int))
+    "global indices keep counting across drops"
+    [ 6; 7; 8; 9 ]
+    (List.map (fun smp -> smp.Obs.Sampler.s_idx) samples);
+  List.iter
+    (fun smp ->
+      Alcotest.(check bool) "gc words sampled" true
+        (smp.Obs.Sampler.s_minor_words >= 0.0);
+      Alcotest.(check bool) "rss sampled or marked absent" true
+        (smp.Obs.Sampler.s_rss_bytes >= -1))
+    samples;
+  match Obs.Check.sampler_jsonl (Obs.Sampler.to_jsonl s) with
+  | Ok lines -> Alcotest.(check int) "header + 4 samples" 5 lines
+  | Error msg -> Alcotest.fail msg
+
+(* ---- live endpoint -------------------------------------------------------- *)
+
+let endpoint_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+(* Single-threaded service: a client that connected before service runs is
+   answered in full (connect to a listening Unix socket completes without an
+   accept; the dump is written and the server side closed, so the client
+   reads to EOF afterwards). *)
+let test_endpoint_service_direct () =
+  let path = endpoint_path "ca-obs-test-direct.sock" in
+  let ep = Obs.Endpoint.create ~path ~render:(fun () -> "hello stats\n") in
+  Fun.protect
+    ~finally:(fun () -> Obs.Endpoint.close ep)
+    (fun () ->
+      Alcotest.(check string) "path recorded" path (Obs.Endpoint.path ep);
+      let client = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect client (Unix.ADDR_UNIX path);
+      Obs.Endpoint.service ep;
+      let buf = Bytes.create 256 in
+      let rec read_all acc =
+        match Unix.read client buf 0 256 with
+        | 0 -> acc
+        | k -> read_all (acc ^ Bytes.sub_string buf 0 k)
+      in
+      let body = read_all "" in
+      Unix.close client;
+      Alcotest.(check string) "served the render output" "hello stats\n" body;
+      (* Service with no pending client is a no-op. *)
+      Obs.Endpoint.service ep);
+  (* Close unlinked the socket file and is idempotent. *)
+  Alcotest.(check bool) "socket file unlinked" false (Sys.file_exists path);
+  Obs.Endpoint.close ep
+
+(* The endpoint served from *inside* run_poll's select loop: connect before
+   the run, let the control hook answer mid-run, read after. *)
+let test_endpoint_through_poll_loop () =
+  let path = endpoint_path "ca-obs-test-poll.sock" in
+  let obs = Obs.create () in
+  let ep = Obs.Endpoint.create ~path ~render:(fun () -> Obs.render_text obs) in
+  Fun.protect
+    ~finally:(fun () -> Obs.Endpoint.close ep)
+    (fun () ->
+      let client = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect client (Unix.ADDR_UNIX path);
+      let n = 7 and t = 2 in
+      let outcome =
+        Engine.run_poll ~obs
+          ~control:(Obs.Endpoint.fd ep, fun () -> Obs.Endpoint.service ep)
+          ~n ~t
+          ~corrupt:(Workload.spread_corrupt ~n ~t)
+          (mk_specs ~n ~sessions:4 ~spacing:1 ~seed:99)
+      in
+      Alcotest.(check int) "all sessions completed" 4
+        outcome.Engine.aggregate.Engine.sessions_completed;
+      let buf = Bytes.create 4096 in
+      let rec read_all acc =
+        match Unix.read client buf 0 4096 with
+        | 0 -> acc
+        | k -> read_all (acc ^ Bytes.sub_string buf 0 k)
+      in
+      let body = read_all "" in
+      Unix.close client;
+      Alcotest.(check bool) "dump served mid-run, non-empty" true
+        (String.length body > 0);
+      Alcotest.(check bool) "dump names the frame histogram" true
+        (contains body "engine/frame_bytes"))
+
+let test_endpoint_fetch_error () =
+  match Obs.Endpoint.fetch ~path:(endpoint_path "ca-obs-no-such.sock") with
+  | Ok _ -> Alcotest.fail "fetch of a missing socket must fail"
+  | Error msg ->
+      Alcotest.(check bool) "error message" true (String.length msg > 0)
+
+(* ---- schema validators reject malformed input ----------------------------- *)
+
+let test_check_rejects_garbage () =
+  let fails = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "registry: not json" true
+    (fails (Obs.Check.registry_jsonl "not json\n"));
+  Alcotest.(check bool) "registry: wrong kind" true
+    (fails (Obs.Check.registry_jsonl "{\"kind\":\"sample\",\"idx\":0}\n"));
+  Alcotest.(check bool) "sampler: missing header" true
+    (fails
+       (Obs.Check.sampler_jsonl
+          "{\"kind\":\"sample\",\"idx\":0,\"round\":1,\"live\":0}\n"));
+  Alcotest.(check bool) "trace: no traceEvents" true
+    (fails (Obs.Check.chrome_trace "{\"foo\":[]}"));
+  Alcotest.(check bool) "trace: bad phase" true
+    (fails (Obs.Check.chrome_trace "{\"traceEvents\":[{\"ph\":\"Q\"}]}"))
+
+let suite =
+  [
+    Alcotest.test_case "bucket bounds monotone and contiguous" `Quick
+      test_bucket_bounds_monotone;
+    Alcotest.test_case "bucket boundaries map to themselves" `Quick
+      test_bucket_boundaries_roundtrip;
+    QCheck_alcotest.to_alcotest prop_bucket_total;
+    QCheck_alcotest.to_alcotest prop_quantile_brackets;
+    Alcotest.test_case "hist counts, quantile edges, merge" `Quick
+      test_hist_counts_and_merge;
+    Alcotest.test_case "registry tiers, order, conflicts" `Quick
+      test_registry_tiers_and_order;
+    Alcotest.test_case "Det tier byte-identical across sim/poll/domains=2"
+      `Quick test_det_tier_identical_across_backends;
+    Alcotest.test_case "sampler ring bounds and drops" `Quick
+      test_sampler_ring_bounds;
+    Alcotest.test_case "endpoint serves a waiting client" `Quick
+      test_endpoint_service_direct;
+    Alcotest.test_case "endpoint served from inside the poll loop" `Quick
+      test_endpoint_through_poll_loop;
+    Alcotest.test_case "endpoint fetch reports missing socket" `Quick
+      test_endpoint_fetch_error;
+    Alcotest.test_case "schema validators reject malformed input" `Quick
+      test_check_rejects_garbage;
+  ]

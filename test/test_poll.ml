@@ -157,7 +157,41 @@ let test_engine_progresses_under_backpressure () =
   Alcotest.(check int) "every frame encoded in place" st.Net_poll.p_frames
     st.Net_poll.p_frames_encoded_in_place;
   Alcotest.(check bool) "allocation meter ran" true
-    (st.Net_poll.p_minor_words_per_round > 0.0)
+    (st.Net_poll.p_minor_words_per_round > 0.0);
+  (* Per-connection peak backlogs: n*n matrix, zero diagonal, and under
+     starved rings every off-diagonal edge queued bytes at some point. The
+     scalar p_max_backlog is exactly the matrix maximum. *)
+  let m = st.Net_poll.p_conn_peak_backlog in
+  Alcotest.(check int) "backlog matrix rows" n (Array.length m);
+  Array.iteri
+    (fun s row ->
+      Alcotest.(check int) "backlog matrix cols" n (Array.length row);
+      Array.iteri
+        (fun d peak ->
+          if s = d then
+            Alcotest.(check int)
+              (Printf.sprintf "diagonal %d zero" s)
+              0 peak
+          else
+            Alcotest.(check bool)
+              (Printf.sprintf "edge %d->%d queued under starved rings" s d)
+              true (peak > 0))
+        row)
+    m;
+  let matrix_max =
+    Array.fold_left
+      (fun acc row -> Array.fold_left max acc row)
+      0 m
+  in
+  Alcotest.(check int) "p_max_backlog = matrix maximum" matrix_max
+    st.Net_poll.p_max_backlog;
+  (* Select-wait accounting: both wall-clock figures are nonnegative and the
+     mean cannot exceed the longest single wait. *)
+  Alcotest.(check bool) "select waits nonnegative" true
+    (st.Net_poll.p_select_wait_max_s >= 0.0
+    && st.Net_poll.p_select_wait_mean_s >= 0.0);
+  Alcotest.(check bool) "mean select wait <= max select wait" true
+    (st.Net_poll.p_select_wait_mean_s <= st.Net_poll.p_select_wait_max_s)
 
 (* ---- transport violations and lifecycle ----------------------------------- *)
 
