@@ -329,6 +329,105 @@ let check_obs_row i row =
       | _ -> failwith (Printf.sprintf "rows[%d].%s is not a boolean" i key))
     [ "det_identical"; "hist_ledger_equal" ]
 
+(* The adaptive experiment's rows carry the fault-adaptive acceptance data:
+   an f-sweep per backend whose zero-fault row took the fast path and cost
+   strictly less than every faulty row — the "cost scales with f, not t"
+   claim in ledger form. pi_z rows are the paired worst-case reference. *)
+let check_adaptive_row i row =
+  let field key =
+    match List.assoc_opt key row with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "rows[%d] has no %S key" i key)
+  in
+  (match field "backend" with
+  | Str ("pi_z" | "adaptive" | "adaptive-auth") -> ()
+  | Str b -> failwith (Printf.sprintf "rows[%d].backend %S is unknown" i b)
+  | _ -> failwith (Printf.sprintf "rows[%d].backend is not a string" i));
+  (match field "f" with
+  | Num f when f >= 0. && Float.is_integer f -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].f is not an integer >= 0" i));
+  List.iter
+    (fun key ->
+      match field key with
+      | Num v when v >= 1. && Float.is_integer v -> ()
+      | _ -> failwith (Printf.sprintf "rows[%d].%s is not an integer >= 1" i key))
+    [ "n"; "t"; "bits"; "honest_bits"; "rounds" ];
+  (match field "fast_path" with
+  | Bool _ | Null -> ()
+  | _ -> failwith (Printf.sprintf "rows[%d].fast_path is not a boolean or null" i));
+  match field "ca_holds" with
+  | Bool true -> ()
+  | Bool false ->
+      failwith
+        (Printf.sprintf "rows[%d].ca_holds is false: Definition 1 violated" i)
+  | _ -> failwith (Printf.sprintf "rows[%d].ca_holds is not a boolean" i)
+
+let check_adaptive_ledger rows =
+  let rows_of backend =
+    List.filter_map
+      (function
+        | Obj fields when List.assoc_opt "backend" fields = Some (Str backend)
+          ->
+            let num key =
+              match List.assoc_opt key fields with
+              | Some (Num v) -> v
+              | _ ->
+                  failwith
+                    (Printf.sprintf "adaptive ledger: %s row lacks numeric %s"
+                       backend key)
+            in
+            Some (num "f", num "t", num "honest_bits", List.assoc_opt "fast_path" fields)
+        | _ -> None)
+      rows
+  in
+  let pi_z_fs = List.map (fun (f, _, _, _) -> f) (rows_of "pi_z") in
+  List.iter
+    (fun backend ->
+      match rows_of backend with
+      | [] ->
+          failwith
+            (Printf.sprintf "adaptive ledger has no backend=%S rows" backend)
+      | sweep ->
+          let _, t, _, _ = List.hd sweep in
+          (* Full f coverage: one row per f in 0..t. *)
+          for f = 0 to int_of_float t do
+            if not (List.exists (fun (f', _, _, _) -> f' = float_of_int f) sweep)
+            then
+              failwith
+                (Printf.sprintf "adaptive ledger: %s sweep misses f=%d (t=%g)"
+                   backend f t)
+          done;
+          let bits_at_0 =
+            match List.find_opt (fun (f, _, _, _) -> f = 0.) sweep with
+            | Some (_, _, b, Some (Bool true)) -> b
+            | Some (_, _, _, _) ->
+                failwith
+                  (Printf.sprintf
+                     "adaptive ledger: %s f=0 row did not take the fast path"
+                     backend)
+            | None -> assert false
+          in
+          List.iter
+            (fun (f, _, b, _) ->
+              if f > 0. && b <= bits_at_0 then
+                failwith
+                  (Printf.sprintf
+                     "adaptive ledger: %s f=%g row (%g bits) not above the \
+                      f=0 fast path (%g bits)"
+                     backend f b bits_at_0))
+            sweep)
+    [ "adaptive"; "adaptive-auth" ];
+  (* Every plain-adaptive grid point needs its worst-case reference row. *)
+  List.iter
+    (fun (f, _, _, _) ->
+      if not (List.mem f pi_z_fs) then
+        failwith
+          (Printf.sprintf
+             "adaptive ledger has no backend=\"pi_z\" row at f=%g to pair \
+              the adaptive one"
+             f))
+    (rows_of "adaptive")
+
 let check_engine_ledger rows =
   let poll_sessions =
     List.filter_map
@@ -375,12 +474,14 @@ let validate path =
                   if experiment = "parallel" then check_parallel_row i fields;
                   if experiment = "engine" then check_engine_row i fields;
                   if experiment = "auth" then check_auth_row i fields;
+                  if experiment = "adaptive" then check_adaptive_row i fields;
                   if experiment = "obs" then check_obs_row i fields
               | Obj [] -> failwith (Printf.sprintf "rows[%d] is empty" i)
               | _ -> failwith (Printf.sprintf "rows[%d] is not an object" i))
             rows;
           if experiment = "engine" then check_engine_ledger rows;
           if experiment = "auth" then check_auth_ledger rows;
+          if experiment = "adaptive" then check_adaptive_ledger rows;
           (List.length rows, experiment)
       | Some _ -> failwith "\"rows\" is not an array"
       | None -> failwith "no top-level \"rows\" key")
@@ -405,9 +506,10 @@ let () =
           Printf.printf "%-28s FAIL: %s\n" path msg)
     paths;
   (* A full-ledger sweep (more than one path) must include the substrate
-     comparison and the observability-plane ledger: losing BENCH_auth.json
-     or BENCH_obs.json from the glob should fail the build, exactly like
-     losing a required column from a row. *)
+     comparison, the fault-adaptive sweep and the observability-plane
+     ledger: losing BENCH_auth.json, BENCH_adaptive.json or BENCH_obs.json
+     from the glob should fail the build, exactly like losing a required
+     column from a row. *)
   List.iter
     (fun (experiment, ledger) ->
       if List.length paths > 1 && not (List.mem experiment !experiments)
@@ -418,5 +520,9 @@ let () =
           experiment ledger;
         incr failures
       end)
-    [ ("auth", "BENCH_auth.json"); ("obs", "BENCH_obs.json") ];
+    [
+      ("auth", "BENCH_auth.json");
+      ("adaptive", "BENCH_adaptive.json");
+      ("obs", "BENCH_obs.json");
+    ];
   if !failures > 0 then exit 1

@@ -49,12 +49,14 @@ let protocol_catalogue ~bits ~aa_rounds =
 
 (* The Pi_BA substrate seam: which BA backend the pi-z protocol family runs
    its agreement sub-calls on. *)
-let ba_backends = [ "unauth"; "auth" ]
+let ba_backends = [ "unauth"; "auth"; "adaptive"; "adaptive-auth" ]
 
 let resolve_ba ba_name =
   match ba_name with
   | "unauth" -> `Unauth
   | "auth" -> `Auth
+  | "adaptive" -> `Adaptive
+  | "adaptive-auth" -> `AdaptiveAuth
   | b ->
       Printf.eprintf "error: unknown --ba backend %S; available: %s\n" b
         (String.concat ", " ba_backends);
@@ -137,19 +139,28 @@ let run_scenario n t protocol_name workload_name adversary_name attack_name
         exit 2
   in
   let ba = resolve_ba ba_name in
+  let require_pi_z () =
+    if not (String.equal protocol_name "pi-z") then begin
+      Printf.eprintf
+        "error: --ba %s applies to --protocol pi-z (the functorized Pi_BA \
+         seam); %S has no BA substrate\n"
+        ba_name protocol_name;
+      exit 2
+    end
+  in
   let protocol, setup =
     match ba with
     | `Unauth ->
         (lookup "protocol" (protocol_catalogue ~bits ~aa_rounds) protocol_name, `Plain)
     | `Auth ->
-        if not (String.equal protocol_name "pi-z") then begin
-          Printf.eprintf
-            "error: --ba auth applies to --protocol pi-z (the functorized \
-             Pi_BA seam); %S has no BA substrate\n"
-            protocol_name;
-          exit 2
-        end;
+        require_pi_z ();
         (Workload.pi_z_auth (auth_setup ~seed ~n ~t), `Authenticated)
+    | `Adaptive ->
+        require_pi_z ();
+        (Workload.pi_z_adaptive (), `Plain)
+    | `AdaptiveAuth ->
+        require_pi_z ();
+        (Workload.pi_z_adaptive_auth (auth_setup ~seed ~n ~t), `Authenticated)
   in
   let gen = lookup "workload" (workload_catalogue rng ~n ~bits) workload_name in
   let adversary = lookup "adversary" (adversary_catalogue ~seed) adversary_name in
@@ -306,7 +317,9 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name
   in
   let ba = resolve_ba ba_name in
   let session_setup =
-    match ba with `Unauth -> `Plain | `Auth -> `Authenticated
+    match ba with
+    | `Unauth | `Adaptive -> `Plain
+    | `Auth | `AdaptiveAuth -> `Authenticated
   in
   let attack = lookup "attack" attack_catalogue attack_name in
   let corrupt =
@@ -323,11 +336,22 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name
   (* One protocol value per session: under --ba auth each session gets its
      own fresh setup (XMSS signers are stateful, and sessions are
      independent protocol runs). *)
+  (* Fast-path accounting for the adaptive backends: one record per
+     (session, party) so domain-parallel sessions never share state; summed
+     over honest parties into the Obs Det tier after the run. *)
+  let adaptive_stats =
+    Array.init sessions (fun _ -> Array.init n (fun _ -> Adaptive.stats ()))
+  in
   let protos =
     Array.init sessions (fun k ->
+        let stats_of me = adaptive_stats.(k).(me) in
         match ba with
         | `Unauth -> Workload.pi_z
-        | `Auth -> Workload.pi_z_auth (auth_setup ~seed:(seed + (31 * k)) ~n ~t))
+        | `Auth -> Workload.pi_z_auth (auth_setup ~seed:(seed + (31 * k)) ~n ~t)
+        | `Adaptive -> Workload.pi_z_adaptive ~stats_of ()
+        | `AdaptiveAuth ->
+            Workload.pi_z_adaptive_auth ~stats_of
+              (auth_setup ~seed:(seed + (31 * k)) ~n ~t))
   in
   let specs =
     List.init sessions (fun k ->
@@ -389,6 +413,25 @@ let engine_scenario n t sessions spacing backend adversary_name attack_name
   in
   (match (telemetry, telemetry_path) with
   | Some tm, Some path -> export_telemetry tm path
+  | _ -> ());
+  (* The adaptive counters are Det-tier: summed over honest parties in fixed
+     index order, they are byte-identical across sim/poll and any --domains. *)
+  (match (obs, ba) with
+  | Some o, (`Adaptive | `AdaptiveAuth) ->
+      let fast = Obs.counter o ~tier:Obs.Det "adaptive/fast_path_taken"
+      and fb = Obs.counter o ~tier:Obs.Det "adaptive/fallbacks"
+      and f_obs = Obs.counter o ~tier:Obs.Det "adaptive/f_observed" in
+      Array.iter
+        (fun per_party ->
+          Array.iteri
+            (fun i s ->
+              if not corrupt.(i) then begin
+                Obs.incr fast s.Adaptive.fast_taken;
+                Obs.incr fb s.Adaptive.fallbacks;
+                Obs.incr f_obs s.Adaptive.f_observed
+              end)
+            per_party)
+        adaptive_stats
   | _ -> ());
   (match obs_dir with
   | Some dir ->
@@ -623,10 +666,14 @@ let ba_arg =
     & info [ "ba" ] ~docv:"BACKEND"
         ~doc:
           "BA substrate for the $(b,pi-z) protocol family: $(b,unauth) \
-           (phase king, plain model, t < n/3) or $(b,auth) (quorum \
+           (phase king, plain model, t < n/3), $(b,auth) (quorum \
            certificates over the XMSS PKI; the agreement sub-calls tolerate \
            t < n/2, while the surrounding CA machinery keeps its own t < n/3 \
-           requirement).")
+           requirement), $(b,adaptive) (fault-adaptive fast path: O(1)-round \
+           optimistic preamble that terminates in O(nl + n^2 k) bits when no \
+           party misbehaves, falling back to the full pi-z stack over \
+           $(b,unauth) otherwise) or $(b,adaptive-auth) (the same fast path \
+           over the $(b,auth) fallback).")
 
 let bits_arg =
   Arg.(

@@ -126,7 +126,22 @@ let spread_corrupt rng ~n ~t =
 
 (* One session's random draw: inputs (workload family + input attack),
    protocol wide enough for the inputs, message adversary. Deterministic in
-   [seed]. *)
+   [seed].
+
+   [d_stats] is only [Some _] for adaptive sessions: one fast-path record per
+   party. [d_resolving] says whether the workload's honest inputs are ordered
+   by their top 128 bits — only then is the adaptive fast path obliged to
+   engage on a zero-fault wave (clustered inputs with long shared prefixes
+   tie on the truncated order key and safely fall back). *)
+type session_draw = {
+  d_inputs : Bigint.t array;
+  d_proto : Workload.protocol;
+  d_adversary : Adversary.t;
+  d_describe : string;
+  d_stats : Adaptive.stats array option;
+  d_resolving : bool;
+}
+
 let draw_session ~corrupt ~n ~seed =
   let rng = Prng.create seed in
   let workload_name, inputs =
@@ -153,17 +168,27 @@ let draw_session ~corrupt ~n ~seed =
   let bits =
     Array.fold_left (fun acc v -> max acc (Bigint.bit_length v)) 64 inputs + 1
   in
+  let proto_idx = Prng.int rng 4 in
+  let stats =
+    if proto_idx = 3 then Some (Array.init n (fun _ -> Adaptive.stats ()))
+    else None
+  in
   let proto =
-    match Prng.int rng 3 with
+    match proto_idx with
     | 0 -> Workload.pi_z
     | 1 -> Workload.high_cost_ca ~bits
-    | _ -> Workload.broadcast_ca ~bits
+    | 2 -> Workload.broadcast_ca ~bits
+    | _ ->
+        Workload.pi_z_adaptive
+          ?stats_of:(Option.map (fun s me -> s.(me)) stats)
+          ()
   in
   (* Fixed-width comparators clamp magnitudes; route negative workloads to
-     the arbitrary-precision protocol. *)
+     the arbitrary-precision Pi_Z. The adaptive draw (index 3) also handles
+     all of Z and keeps its slot. *)
   let proto =
     if
-      proto.Workload.proto_name <> Workload.pi_z.Workload.proto_name
+      (proto_idx = 1 || proto_idx = 2)
       && Array.exists (fun v -> Bigint.sign v < 0) inputs
     then Workload.pi_z
     else proto
@@ -181,19 +206,31 @@ let draw_session ~corrupt ~n ~seed =
       (Workload.input_attack_name attack)
       adversary.Adversary.name
   in
-  (inputs, proto, adversary, describe)
+  {
+    d_inputs = inputs;
+    d_proto = proto;
+    d_adversary = adversary;
+    d_describe = describe;
+    d_stats = stats;
+    d_resolving = workload_name <> "clustered";
+  }
 
 let wave ~cfg ~obs ~sampler ~control ~idx =
   let seed = (cfg.seed * 1_000_003) + idx in
   let rng = Prng.create seed in
   let n = 4 + Prng.int rng 4 in
   let t = Prng.int rng (((n - 1) / 3) + 1) in
-  let corrupt = spread_corrupt rng ~n ~t in
+  (* Fault-adaptive dimension: the protocol bound stays t, but the wave
+     corrupts only f <= t parties. Zero-fault waves must see the adaptive
+     fast path engage; faulty waves exercise its detection and fallback. *)
+  let f = Prng.int rng (t + 1) in
+  let corrupt = spread_corrupt rng ~n ~t:f in
   let sessions = 1 + Prng.int rng cfg.max_sessions in
   let spacing = Prng.int rng 3 in
   let describe_wave =
-    Printf.sprintf "wave=%d seed=%d backend=%s n=%d t=%d sessions=%d spacing=%d"
-      idx seed cfg.backend n t sessions spacing
+    Printf.sprintf
+      "wave=%d seed=%d backend=%s n=%d t=%d f=%d sessions=%d spacing=%d" idx
+      seed cfg.backend n t f sessions spacing
   in
   let draws =
     Array.init sessions (fun k ->
@@ -201,9 +238,10 @@ let wave ~cfg ~obs ~sampler ~control ~idx =
   in
   let specs =
     List.init sessions (fun k ->
-        let inputs, proto, adversary, _ = draws.(k) in
-        Engine.session ~sid:k ~start_round:(k * spacing) ~adversary (fun ctx ->
-            proto.Workload.run ctx inputs.(ctx.Ctx.me)))
+        let d = draws.(k) in
+        Engine.session ~sid:k ~start_round:(k * spacing)
+          ~adversary:d.d_adversary (fun ctx ->
+            d.d_proto.Workload.run ctx d.d_inputs.(ctx.Ctx.me)))
   in
   let telemetry =
     if idx mod cfg.telemetry_every = 0 then Some (Telemetry.create ()) else None
@@ -238,7 +276,7 @@ let wave ~cfg ~obs ~sampler ~control ~idx =
       List.iter
         (fun r ->
           let k = r.Engine.r_sid in
-          let inputs, _, _, describe_session = draws.(k) in
+          let d = draws.(k) in
           let honest = Engine.honest_outputs ~corrupt r in
           let agreement =
             match honest with
@@ -246,7 +284,7 @@ let wave ~cfg ~obs ~sampler ~control ~idx =
             | o :: rest -> List.for_all (Bigint.equal o) rest
           in
           let honest_inputs =
-            List.filteri (fun i _ -> not corrupt.(i)) (Array.to_list inputs)
+            List.filteri (fun i _ -> not corrupt.(i)) (Array.to_list d.d_inputs)
           in
           let validity =
             List.for_all
@@ -255,7 +293,22 @@ let wave ~cfg ~obs ~sampler ~control ~idx =
           in
           if not (agreement && validity) then
             fail "%s: sid=%d %s: agreement=%b validity=%b" describe_wave k
-              describe_session agreement validity)
+              d.d_describe agreement validity;
+          (* Zero-fault waves with order keys that resolve must take the fast
+             path at every party; any fallback there means the adaptive layer
+             stopped being f-sensitive. *)
+          match d.d_stats with
+          | Some stats when f = 0 && d.d_resolving ->
+              Array.iteri
+                (fun i (s : Adaptive.stats) ->
+                  if s.Adaptive.fallbacks > 0 || s.Adaptive.fast_taken = 0 then
+                    fail
+                      "%s: sid=%d %s: party %d missed the zero-fault fast \
+                       path (fast=%d fallbacks=%d f_observed=%d)"
+                      describe_wave k d.d_describe i s.Adaptive.fast_taken
+                      s.Adaptive.fallbacks s.Adaptive.f_observed)
+                stats
+          | Some _ | None -> ())
         outcome.Engine.sessions;
       let telemetry_bytes =
         match telemetry with

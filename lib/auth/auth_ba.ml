@@ -389,6 +389,15 @@ let substrate (s : Setup.t) : (module Ba.Substrate.S) =
       rounds ctx * n * n
       * (value_bits + (8 * Net.Ctx.quorum ctx * Sigs.Xmss.signature_bytes))
 
+    (* The certificate exchange runs to its worst-case schedule regardless
+       of how many corruptions materialize: flat in f. *)
+    let cost ctx ~value_bits ~f =
+      {
+        Ba.Substrate.c_f = f;
+        c_bits = bits_estimate ctx ~value_bits;
+        c_rounds = rounds ctx;
+      }
+
     let run spec ctx v =
       let instance = !next_instance in
       incr next_instance;

@@ -10,12 +10,18 @@ type 'v spec = 'v Phase_king.spec = {
   decode : string -> 'v option;
 }
 
+(* One sample of a backend's f-sensitive cost model: expected cost of an
+   instance when only f of the t allowed corruptions are actually active.
+   Worst-case substrates are flat in f; lib/adaptive's backend is not. *)
+type cost = { c_f : int; c_bits : int; c_rounds : int }
+
 module type S = sig
   val name : string
   val assumption : [ `Plain | `Authenticated ]
   val max_t : n:int -> int
   val rounds : Net.Ctx.t -> int
   val bits_estimate : Net.Ctx.t -> value_bits:int -> int
+  val cost : Net.Ctx.t -> value_bits:int -> f:int -> cost
   val run : 'v Phase_king.spec -> Net.Ctx.t -> 'v -> 'v Net.Proto.t
   val run_bit : Net.Ctx.t -> bool -> bool Net.Proto.t
   val run_bytes : Net.Ctx.t -> string -> string Net.Proto.t
@@ -40,6 +46,11 @@ module Unauthenticated : S = struct
   let bits_estimate (ctx : Net.Ctx.t) ~value_bits =
     let n = ctx.Net.Ctx.n in
     Phase_king.rounds ctx * n * n * (value_bits + 16)
+
+  (* Phase king always runs its full t+1 phases: the cost model is flat in
+     the actual fault count f (only the echo back to ledgers changes). *)
+  let cost ctx ~value_bits ~f =
+    { c_f = f; c_bits = bits_estimate ctx ~value_bits; c_rounds = rounds ctx }
 
   let run = Phase_king.run
   let run_bit = Phase_king.run_bit

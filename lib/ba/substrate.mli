@@ -25,6 +25,18 @@ type 'v spec = 'v Phase_king.spec = {
   decode : string -> 'v option;  (** Total on arbitrary bytes. *)
 }
 
+type cost = {
+  c_f : int;  (** The assumed number of {e actual} corruptions the sample
+                  was taken at (echoed back for ledgers). *)
+  c_bits : int;  (** Modelled honest bits of one instance at [f] faults. *)
+  c_rounds : int;  (** Modelled synchronous rounds at [f] faults. *)
+}
+(** One sample of a backend's f-sensitive cost model: what one agreement
+    instance is expected to cost when only [f <= t] of the [t] allowed
+    corruptions actually materialize.  Worst-case substrates are flat in
+    [f]; the fault-adaptive backend ({!module:Adaptive} in [lib/adaptive])
+    collapses to its O(1)-round fast path at [f = 0]. *)
+
 module type S = sig
   val name : string
   (** Stable identifier, used in ledgers and CLI surfaces. *)
@@ -42,6 +54,14 @@ module type S = sig
   val bits_estimate : Net.Ctx.t -> value_bits:int -> int
   (** Order-of-magnitude honest-bit cost model for one instance over
       [value_bits]-bit values; for planning and ledgers, not accounting. *)
+
+  val cost : Net.Ctx.t -> value_bits:int -> f:int -> cost
+  (** The f-sensitive refinement of [bits_estimate]/[rounds]: modelled cost
+      of one instance when [f] corruptions are actually active.  Worst-case
+      backends must return a sample consistent with [bits_estimate] and
+      [rounds] at every [f]; fault-adaptive backends may return strictly
+      smaller figures for small [f].  Like [bits_estimate], a planning
+      model — measured bits come from the simulator's ledger. *)
 
   val run : 'v spec -> Net.Ctx.t -> 'v -> 'v Net.Proto.t
   (** [run spec ctx v] joins one multivalued agreement instance with input

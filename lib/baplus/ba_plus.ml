@@ -51,6 +51,20 @@ let values_with_support ~decode ~threshold inbox =
   List.sort String.compare (distinct_with_quorum [] !all)
 
 module Make (B : Ba.Substrate.S) = struct
+  (* f-sensitive cost model, composed from the protocol's own structure: two
+     all-to-all exchanges of the value plus two option and two bit instances
+     of the substrate.  Inherits whatever f-adaptivity B's model has. *)
+  let cost_estimate (ctx : Ctx.t) ~value_bits ~f =
+    let n = ctx.Ctx.n in
+    let exchanges = 2 * n * n * (value_bits + 16) in
+    let opt = B.cost ctx ~value_bits ~f in
+    let bit = B.cost ctx ~value_bits:1 ~f in
+    {
+      Ba.Substrate.c_f = f;
+      c_bits = exchanges + (2 * opt.Ba.Substrate.c_bits) + (2 * bit.Ba.Substrate.c_bits);
+      c_rounds = 2 + (2 * opt.Ba.Substrate.c_rounds) + (2 * bit.Ba.Substrate.c_rounds);
+    }
+
   let run (ctx : Ctx.t) input =
   let t = ctx.Ctx.t in
   let quorum = Ctx.quorum ctx in

@@ -16,6 +16,13 @@ module Make (B : Ba.Substrate.S) : sig
   val run : Net.Ctx.t -> string -> string option Net.Proto.t
   (** [run ctx v] joins Π_BA+ with input [v]; [None] is the paper's ⊥.  The
       four inner agreement instances run on the substrate [B]. *)
+
+  val cost_estimate :
+    Net.Ctx.t -> value_bits:int -> f:int -> Ba.Substrate.cost
+  (** f-sensitive cost model for one Π_BA+ instance: the two value exchanges
+      plus two option and two bit instances of [B]'s own {!Ba.Substrate.S.cost}
+      — so a fault-adaptive substrate's early stopping propagates through the
+      functor seam.  A planning model, not an accounting identity. *)
 end
 
 include module type of Make (Ba.Substrate.Unauthenticated)

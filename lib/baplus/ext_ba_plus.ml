@@ -54,6 +54,24 @@ let harvest ~n ~z_star ~into inbox =
 module Make (B : Ba.Substrate.S) = struct
   module BP = Ba_plus.Make (B)
 
+  (* f-sensitive cost model: the inner Π_BA+ runs on the κ-bit Merkle root,
+     then two distribution rounds ship O(ℓ/(n−t))-bit codewords with
+     O(κ log n) witnesses.  Inherits BP's (hence B's) f-adaptivity. *)
+  let cost_estimate (ctx : Ctx.t) ~value_bits ~f =
+    let n = ctx.Ctx.n in
+    let kappa = 8 * Sha256.digest_size in
+    let bp = BP.cost_estimate ctx ~value_bits:kappa ~f in
+    let log2n =
+      let rec go acc p = if p >= n then acc else go (acc + 1) (2 * p) in
+      go 0 1
+    in
+    let share = (value_bits / max 1 (Ctx.quorum ctx)) + (kappa * (log2n + 2)) in
+    {
+      Ba.Substrate.c_f = f;
+      c_bits = bp.Ba.Substrate.c_bits + (2 * n * n * share);
+      c_rounds = bp.Ba.Substrate.c_rounds + 2;
+    }
+
   let run (ctx : Ctx.t) input =
   let n = ctx.Ctx.n in
   let k = Ctx.quorum ctx in

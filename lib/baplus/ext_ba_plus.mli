@@ -20,6 +20,13 @@ module Make (B : Ba.Substrate.S) : sig
       input (Intrusion Tolerance); ⊥ implies fewer than [n−2t] honest parties
       shared an input (Bounded Pre-Agreement).  The inner Π_BA+ runs on the
       substrate [B]. *)
+
+  val cost_estimate :
+    Net.Ctx.t -> value_bits:int -> f:int -> Ba.Substrate.cost
+  (** f-sensitive cost model for one Π_ℓBA+ instance: the inner Π_BA+ on the
+      κ-bit root plus the two codeword-distribution rounds.  Composes
+      {!Ba_plus.Make.cost_estimate}, so a fault-adaptive substrate's early
+      stopping propagates.  A planning model, not an accounting identity. *)
 end
 
 include module type of Make (Ba.Substrate.Unauthenticated)

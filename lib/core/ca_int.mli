@@ -13,6 +13,14 @@ module Make (B : Ba.Substrate.S) : sig
       integer within their inputs' range (Definition 1).  [B] fills the
       paper's Π_BA position throughout the stack (sign BA, length probes,
       Π_BA+ roots, ADDLASTBIT, GETOUTPUT). *)
+
+  val cost_estimate :
+    Net.Ctx.t -> value_bits:int -> f:int -> Ba.Substrate.cost
+  (** f-sensitive cost model for one Π_ℤ run, composed from the sign BA,
+      Π_ℕ's length probes and the FINDPREFIX search — reports (f, bits,
+      rounds) and inherits whatever f-adaptivity [B]'s
+      {!Ba.Substrate.S.cost} has.  Order-of-magnitude, for planning and
+      ledgers. *)
 end
 
 include module type of Make (Ba.Substrate.Unauthenticated)

@@ -40,6 +40,21 @@ let decode_window ~expect_bits raw =
 module Make (B : Ba.Substrate.S) = struct
   module Ext = Baplus.Ext_ba_plus.Make (B)
 
+  (* f-sensitive cost model: ⌈log₂(ℓ+1)⌉ binary-search iterations, each one
+     Π_ℓBA+ instance on a window of at most ℓ bits.  Inherits the
+     substrate's f-adaptivity through Ext's composed model. *)
+  let cost_estimate (ctx : Ctx.t) ~value_bits ~f =
+    let iterations =
+      let rec go acc p = if p > value_bits then acc else go (acc + 1) (2 * p) in
+      max 1 (go 0 1)
+    in
+    let ext = Ext.cost_estimate ctx ~value_bits ~f in
+    {
+      Ba.Substrate.c_f = f;
+      c_bits = iterations * ext.Ba.Substrate.c_bits;
+      c_rounds = iterations * ext.Ba.Substrate.c_rounds;
+    }
+
   let run (ctx : Ctx.t) ~bits:len v_in =
   if Bitstring.length v_in <> len then invalid_arg "Find_prefix.run: input length";
   let rec loop ~left ~right ~prefix_star ~v ~v_bot ~iterations =

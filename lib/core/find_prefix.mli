@@ -23,6 +23,12 @@ module Make (B : Ba.Substrate.S) : sig
   (** All honest parties must join with the same [bits] and a valid
       [bits]-bit value. Raises [Invalid_argument] on a length mismatch.
       The inner Π_ℓBA+ instances run on the substrate [B]. *)
+
+  val cost_estimate :
+    Net.Ctx.t -> value_bits:int -> f:int -> Ba.Substrate.cost
+  (** f-sensitive cost model: ⌈log₂(ℓ+1)⌉ iterations of
+      {!Baplus.Ext_ba_plus.Make.cost_estimate} — the substrate's
+      f-adaptivity propagates through the whole search. *)
 end
 
 include module type of Make (Ba.Substrate.Unauthenticated)

@@ -13,7 +13,9 @@ type t = {
   workload : string;
   adversary : string;
   attack : string;
-  ba : string;  (** BA substrate backend for the pi-z family: unauth | auth *)
+  ba : string;
+      (** BA substrate backend for the pi-z family:
+          unauth | auth | adaptive | adaptive-auth *)
   bits : int;
   aa_rounds : int;
   seed : int;

@@ -191,6 +191,37 @@ let pi_z_auth setup =
     solves_ca = true;
   }
 
+(* The fault-adaptive CA wrapper (lib/adaptive): optimistic 4-round preamble
+   + bit-BA arbitration in front of the full Π_ℤ stack over [fallback].
+   [stats_of] maps a party id to the mutable accounting record that party
+   should fill — one record per (party, run) so domain-parallel executions
+   never share state. *)
+let pi_z_adaptive ?stats_of () =
+  {
+    proto_name = "Pi_Z + fault-adaptive fast path";
+    run =
+      (fun ctx v ->
+        let stats = Option.map (fun f -> f ctx.Ctx.me) stats_of in
+        Adaptive.agree_int ?stats
+          ~fallback:(module Ba.Substrate.Unauthenticated : Ba.Substrate.S)
+          ctx v);
+    solves_ca = true;
+  }
+
+(* Same fast path, falling back to Π_ℤ over the authenticated substrate.
+   The arbitration stays plain phase king (see lib/adaptive), so only the
+   fallback's interior BA calls are authenticated. *)
+let pi_z_adaptive_auth ?stats_of setup =
+  {
+    proto_name = "Pi_Z + fault-adaptive fast path (auth fallback)";
+    run =
+      (fun ctx v ->
+        let stats = Option.map (fun f -> f ctx.Ctx.me) stats_of in
+        let module B = (val Auth.Auth_ba.substrate setup) in
+        Adaptive.agree_int ?stats ~fallback:(module B : Ba.Substrate.S) ctx v);
+    solves_ca = true;
+  }
+
 (* Fixed-width adapters: these comparators need a public bit-length; the
    caller supplies one large enough for every honest input. Out-of-range
    values — byzantine outliers under Honest_inputs-style placement — are

@@ -113,6 +113,18 @@ val pi_z_auth : Auth.Setup.t -> protocol
     [Auth.Auth_ba.required_capacity ~t ~instances:64], and pass
     [~setup:`Authenticated] to {!run_int}. *)
 
+val pi_z_adaptive : ?stats_of:(int -> Adaptive.stats) -> unit -> protocol
+(** Π_ℤ behind the fault-adaptive fast path ({!Adaptive.agree_int} over the
+    unauthenticated substrate): O(nℓ + n²κ) bits in the zero-fault run,
+    preamble + full Π_ℤ otherwise. [stats_of] supplies each party's
+    accounting record (one per (party, run) — never share across domains). *)
+
+val pi_z_adaptive_auth :
+  ?stats_of:(int -> Adaptive.stats) -> Auth.Setup.t -> protocol
+(** The fast path over the authenticated fallback ({!pi_z_auth}'s stack).
+    Same setup discipline as {!pi_z_auth}: fresh {!Auth.Setup.t}, capacity ≥
+    [required_capacity ~t ~instances:64], run with [~setup:`Authenticated]. *)
+
 val high_cost_ca : bits:int -> protocol
 val broadcast_ca : bits:int -> protocol
 val broadcast_ca_parallel : bits:int -> protocol
